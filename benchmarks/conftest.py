@@ -1,0 +1,28 @@
+"""Shared benchmark helpers.
+
+Every benchmark module regenerates one paper table or figure: it computes
+the full artifact once (module-scoped fixture), writes it to
+``benchmarks/results/`` and prints it, and uses pytest-benchmark to time a
+representative unit of work (one model evaluation, one simulation, ...).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: Path, name: str, text: str) -> None:
+    """Write one artifact to disk and echo it to stdout."""
+    path = results_dir / name
+    path.write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}\n")

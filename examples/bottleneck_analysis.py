@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Use case 2: fine-grained bottleneck analysis (paper Figs. 6 and 7).
+
+Profiles a SegmentedRR accelerator for ResNet50 on the bandwidth-limited
+ZC706: which segments are memory-bound, how much time the engines idle
+waiting for data, and which data class (weights or feature maps) dominates
+off-chip traffic — i.e. where compression would and would not pay off.
+
+Run:  python examples/bottleneck_analysis.py
+"""
+
+from repro.analysis.bottleneck import profile_bottlenecks
+from repro.analysis.breakdown import access_breakdown, per_segment_breakdown
+from repro.api import evaluate
+
+
+def main() -> None:
+    report = evaluate("resnet50", "zc706", "segmentedrr", ce_count=2)
+    profile = profile_bottlenecks(report)
+
+    print(f"accelerator: {report.accelerator_name}  ({report.notation})")
+    print(profile.table())
+
+    bound = profile.memory_bound_segments()
+    if bound:
+        first, last = bound[0].index + 1, bound[-1].index + 1
+        print(
+            f"\nmemory-bound segments: {first}-{last} "
+            f"({len(bound)} of {len(profile.segments)})"
+        )
+        print(
+            "=> apply compression only to these segments' layers to keep "
+            "overheads minimal (paper, use case 2)"
+        )
+
+    shares = access_breakdown(report)
+    print(
+        f"\noff-chip traffic: {shares.total_bytes / 2**20:.1f} MiB "
+        f"({100 * shares.weight_fraction:.0f}% weights, "
+        f"{100 * shares.fm_fraction:.0f}% feature maps)"
+    )
+    print(f"=> compressing {shares.dominant} has the most impact; "
+          f"compressing the other class would be pure overhead")
+
+    print("\nper-segment traffic (weights / FMs, MiB):")
+    for label, weight_bytes, fm_bytes in per_segment_breakdown(report):
+        print(f"  {label:<10} {weight_bytes / 2**20:7.2f} / {fm_bytes / 2**20:5.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Use case 1: end-to-end evaluation of state-of-the-art multiple-CE
+architectures across metrics, CNNs, and boards (paper Tables I and V).
+
+Sweeps the three architecture templates over 2-11 CEs for a selection of
+CNN/board pairs, then prints:
+  * a Table-I-style normalized comparison of each family's best-latency
+    instance, and
+  * a Table-V-style grid of best architecture (with the 10% tie rule)
+    per metric.
+
+Run:  python examples/end_to_end_evaluation.py
+"""
+
+from repro.analysis.reporting import (
+    HEADLINE_METRICS,
+    architecture_of,
+    best_architecture_table,
+    comparison_table,
+    winners_with_ties,
+)
+from repro.api import sweep
+
+BOARDS = ["zc706", "zcu102"]
+MODELS = ["resnet50", "mobilenetv2"]
+
+
+def table_one(board: str, model: str) -> None:
+    reports = sweep(model, board)
+    families = {}
+    for report in reports:
+        families.setdefault(architecture_of(report), []).append(report)
+    representatives = [
+        min(family, key=lambda r: r.latency_seconds) for family in families.values()
+    ]
+    print(f"\n--- {model} on {board}: normalized comparison (Table I style) ---")
+    print(comparison_table(representatives))
+
+
+def table_five() -> None:
+    grid = {
+        (board, model): sweep(model, board) for board in BOARDS for model in MODELS
+    }
+    print("\n--- best architectures per metric (Table V style) ---")
+    print(best_architecture_table(grid))
+    print("\nper-column detail:")
+    for (board, model), reports in grid.items():
+        winners = {
+            metric: winners_with_ties(list(reports), metric).winners
+            for metric in HEADLINE_METRICS
+        }
+        print(f"  {model} on {board}:")
+        for metric, who in winners.items():
+            rendered = ", ".join(f"{arch} ({count} CEs)" for arch, count in who)
+            print(f"    {metric:<12} {rendered}")
+
+
+def main() -> None:
+    for board in BOARDS:
+        for model in MODELS:
+            table_one(board, model)
+    table_five()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Quickstart: evaluate one multiple-CE accelerator in a few lines.
+
+Builds a SegmentedRR accelerator (2 engines, round-robin over the layers)
+for ResNet50 on the ZC706 board, runs the MCCM cost model, and prints the
+four headline metrics plus the per-engine configuration.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import evaluate
+from repro.api import build_accelerator
+
+
+def main() -> None:
+    # One call: model (zoo name), board (Table II name), architecture
+    # (template name or notation string), CE count.
+    report = evaluate("resnet50", "zc706", "segmentedrr", ce_count=2)
+
+    print(report.summary())
+    print()
+    print(f"notation:          {report.notation}")
+    print(f"latency:           {report.latency_ms:.2f} ms")
+    print(f"throughput:        {report.throughput_fps:.1f} FPS")
+    print(f"on-chip buffers:   {report.buffer_requirement_mib:.2f} MiB")
+    print(f"off-chip accesses: {report.access_mib:.1f} MiB/inference")
+    print(f"PE utilization:    {100 * report.pe_utilization:.1f}%")
+
+    # The same accelerator, inspected before evaluation.
+    accelerator = build_accelerator("resnet50", "zc706", "segmentedrr", ce_count=2)
+    print()
+    print(accelerator.describe())
+
+    # The notation syntax from the paper works directly as well.
+    custom = evaluate("resnet50", "zc706", "{L1-L10: CE1, L11-Last: CE2-CE4}")
+    print()
+    print("custom mapping:", custom.summary())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Resource sensitivity: which board resource limits each architecture?
+
+The paper's Table V shows the best architecture shifts with the resource
+budget. This example quantifies why: it scales each ZC706 resource (PEs,
+BRAM, off-chip bandwidth) independently and measures how each
+architecture's latency responds. An elasticity near -1 against PEs means
+compute-bound; against bandwidth, memory-bound.
+
+Run:  python examples/resource_sensitivity.py
+"""
+
+from repro.analysis.sensitivity import sensitivity_profile
+from repro.api import resolve_board, resolve_model
+from repro.core.architectures import build_template
+from repro.core.builder import MultipleCEBuilder
+
+MODEL = "resnet50"
+BOARD = "zc706"
+
+
+def main() -> None:
+    graph = resolve_model(MODEL)
+    board = resolve_board(BOARD)
+    builder = MultipleCEBuilder(graph, board)
+
+    print(f"{MODEL} on {BOARD}: latency elasticity per resource\n")
+    for architecture, ce_count in (
+        ("segmentedrr", 2),
+        ("segmented", 5),
+        ("hybrid", 5),
+    ):
+        spec = build_template(architecture, builder.conv_specs, ce_count)
+        profile = sensitivity_profile(graph, board, spec, factors=(0.5, 1.0, 2.0))
+        print(profile.table("latency"))
+        dominant = profile.dominant_resource("latency")
+        print(f"=> {spec.name} is {dominant}-limited on this board\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""MCCM: an analytical cost model for multiple compute-engine CNN
+accelerators.
+
+Reproduction of Qararyah, Maleki & Trancoso, "An Analytical Cost Model for
+Fast Evaluation of Multiple Compute-Engine CNN Accelerators", ISPASS 2025.
+
+Quickstart::
+
+    from repro import evaluate
+    report = evaluate("resnet50", "zc706", "segmentedrr", ce_count=2)
+    print(report.summary())
+"""
+
+from repro.api import build_accelerator, evaluate, sweep
+from repro.cnn.zoo import available_models, load_model
+from repro.core.cost.results import CostReport
+from repro.core.notation import ArchitectureSpec, parse_notation
+from repro.hw.boards import available_boards, get_board
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "build_accelerator",
+    "evaluate",
+    "sweep",
+    "available_models",
+    "load_model",
+    "CostReport",
+    "ArchitectureSpec",
+    "parse_notation",
+    "available_boards",
+    "get_board",
+    "__version__",
+]

@@ -1,0 +1,96 @@
+"""Fine-grained analysis: bottlenecks, breakdowns, utilization, Pareto,
+and the end-to-end evaluation tables."""
+
+from repro.analysis.bottleneck import (
+    BottleneckProfile,
+    SegmentTiming,
+    idle_fraction,
+    profile_bottlenecks,
+)
+from repro.analysis.energy import (
+    DEFAULT_CONSTANTS,
+    EnergyBreakdown,
+    EnergyConstants,
+    energy_breakdown,
+    energy_table,
+    per_segment_energy,
+)
+from repro.analysis.breakdown import (
+    AccessShares,
+    access_breakdown,
+    breakdown_table,
+    per_segment_breakdown,
+)
+from repro.analysis.pareto import (
+    dominates,
+    pareto_front,
+    report_front,
+    scatter_points,
+)
+from repro.analysis.sensitivity import (
+    RESOURCES,
+    SensitivityPoint,
+    SensitivityProfile,
+    scaled_board,
+    sensitivity_profile,
+)
+from repro.analysis.reporting import (
+    HEADLINE_METRICS,
+    TIE_THRESHOLD,
+    MetricWinners,
+    architecture_of,
+    best_architecture_table,
+    best_instances,
+    ce_count_of,
+    comparison_table,
+    normalized_comparison,
+    winners_with_ties,
+)
+from repro.analysis.utilization import (
+    SegmentUtilization,
+    normalized_buffer_shares,
+    normalized_underutilization,
+    per_segment_utilization,
+    slowest_segment,
+)
+
+__all__ = [
+    "BottleneckProfile",
+    "SegmentTiming",
+    "idle_fraction",
+    "profile_bottlenecks",
+    "DEFAULT_CONSTANTS",
+    "EnergyBreakdown",
+    "EnergyConstants",
+    "energy_breakdown",
+    "energy_table",
+    "per_segment_energy",
+    "AccessShares",
+    "access_breakdown",
+    "breakdown_table",
+    "per_segment_breakdown",
+    "dominates",
+    "pareto_front",
+    "report_front",
+    "scatter_points",
+    "HEADLINE_METRICS",
+    "TIE_THRESHOLD",
+    "MetricWinners",
+    "architecture_of",
+    "best_architecture_table",
+    "best_instances",
+    "ce_count_of",
+    "comparison_table",
+    "normalized_comparison",
+    "winners_with_ties",
+    "RESOURCES",
+    "SensitivityPoint",
+    "SensitivityProfile",
+    "scaled_board",
+    "sensitivity_profile",
+    "SegmentUtilization",
+    "normalized_buffer_shares",
+    "normalized_underutilization",
+    "per_segment_utilization",
+    "slowest_segment",
+]

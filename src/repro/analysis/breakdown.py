@@ -1,0 +1,71 @@
+"""Off-chip access breakdown: weights vs feature maps (Use case 2, Fig. 7).
+
+Identifies which data dominates an accelerator's off-chip traffic —
+"while in SegmentedRR and Hybrid cases, compressing the weights would have
+a considerable impact on the accesses, compressing FMs would be a pure
+overhead".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.cost.results import CostReport
+
+
+@dataclass(frozen=True)
+class AccessShares:
+    """Weights/FMs shares of one accelerator's off-chip traffic."""
+
+    accelerator_name: str
+    weight_bytes: int
+    fm_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.weight_bytes + self.fm_bytes
+
+    @property
+    def weight_fraction(self) -> float:
+        return self.weight_bytes / self.total_bytes if self.total_bytes else 0.0
+
+    @property
+    def fm_fraction(self) -> float:
+        return self.fm_bytes / self.total_bytes if self.total_bytes else 0.0
+
+    @property
+    def dominant(self) -> str:
+        """Which data class compression should target first."""
+        return "weights" if self.weight_bytes >= self.fm_bytes else "fms"
+
+
+def access_breakdown(report: CostReport) -> AccessShares:
+    """The Fig. 7 bar for one accelerator instance."""
+    return AccessShares(
+        accelerator_name=report.accelerator_name,
+        weight_bytes=report.accesses.weight_bytes,
+        fm_bytes=report.accesses.fm_bytes,
+    )
+
+
+def breakdown_table(reports: Sequence[CostReport]) -> str:
+    """Render Fig. 7 as a text table for several accelerators."""
+    header = f"{'accelerator':<20}{'weights %':>12}{'FMs %':>10}{'total MiB':>12}"
+    lines = [header, "-" * len(header)]
+    for report in reports:
+        shares = access_breakdown(report)
+        lines.append(
+            f"{shares.accelerator_name:<20}{100 * shares.weight_fraction:>11.1f}%"
+            f"{100 * shares.fm_fraction:>9.1f}%{shares.total_bytes / 2**20:>12.1f}"
+        )
+    return "\n".join(lines)
+
+
+def per_segment_breakdown(report: CostReport) -> List[Tuple[str, int, int]]:
+    """(label, weight bytes, FM bytes) per segment — the data that guides
+    applying compression only to bottleneck segments' layers."""
+    return [
+        (segment.label, segment.accesses.weight_bytes, segment.accesses.fm_bytes)
+        for segment in report.segments
+    ]

@@ -1,0 +1,80 @@
+"""Pareto-front utilities for metric trade-off scatter plots (Figs. 5, 8, 10).
+
+The figures plot one benefit metric (throughput) against one cost metric
+(off-chip accesses or buffers); the interesting designs sit on the
+bottom-right frontier: more throughput, less cost.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+from repro.core.cost.results import CostReport
+
+T = TypeVar("T")
+
+
+def pareto_front(
+    items: Sequence[T],
+    benefit: Callable[[T], float],
+    cost: Callable[[T], float],
+) -> List[T]:
+    """Items not dominated by any other (>= benefit and <= cost, one strict).
+
+    Returned sorted by ascending cost.
+    """
+    front: List[T] = []
+    for candidate in items:
+        dominated = False
+        for other in items:
+            if other is candidate:
+                continue
+            better_benefit = benefit(other) >= benefit(candidate)
+            better_cost = cost(other) <= cost(candidate)
+            strictly = benefit(other) > benefit(candidate) or cost(other) < cost(candidate)
+            if better_benefit and better_cost and strictly:
+                dominated = True
+                break
+        if not dominated:
+            front.append(candidate)
+    return sorted(front, key=cost)
+
+
+def report_front(
+    reports: Sequence[CostReport], cost_metric: str = "buffers"
+) -> List[CostReport]:
+    """Throughput-vs-cost Pareto front over cost reports.
+
+    ``cost_metric`` is ``"buffers"`` (Figs. 8, 10) or ``"access"`` (Fig. 5).
+    """
+    return pareto_front(
+        reports,
+        benefit=lambda report: report.throughput_fps,
+        cost=lambda report: report.metric(cost_metric),
+    )
+
+
+def scatter_points(
+    reports: Sequence[CostReport], cost_metric: str = "buffers"
+) -> List[Tuple[str, float, float]]:
+    """(name, throughput FPS, cost) triples for plotting/tabulation."""
+    points = []
+    for report in reports:
+        cost = report.metric(cost_metric)
+        if cost_metric in ("buffers", "buffer", "access", "accesses"):
+            cost = cost / 2**20  # report in MiB like the figures
+        points.append((report.accelerator_name, report.throughput_fps, cost))
+    return points
+
+
+def dominates(
+    challenger: CostReport, incumbent: CostReport, cost_metric: str = "buffers"
+) -> bool:
+    """Whether ``challenger`` Pareto-dominates ``incumbent``."""
+    better_benefit = challenger.throughput_fps >= incumbent.throughput_fps
+    better_cost = challenger.metric(cost_metric) <= incumbent.metric(cost_metric)
+    strictly = (
+        challenger.throughput_fps > incumbent.throughput_fps
+        or challenger.metric(cost_metric) < incumbent.metric(cost_metric)
+    )
+    return better_benefit and better_cost and strictly

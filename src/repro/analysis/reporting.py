@@ -1,0 +1,167 @@
+"""End-to-end evaluation reports (Use case 1: Tables I and V).
+
+* :func:`normalized_comparison` — Table I: each metric normalized to the
+  best accelerator in that metric.
+* :func:`best_instances` / :func:`winners_with_ties` — Table V: per metric,
+  the architecture (and CE count) achieving the best result, with results
+  within 10% of the best counted as ties "to account for estimation
+  errors".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.cost.results import CostReport, metric_is_higher_better
+
+#: Table V tie threshold: results within 10% of the best count as a tie.
+TIE_THRESHOLD = 0.10
+
+#: The four headline metrics in the paper's table order.
+HEADLINE_METRICS: Tuple[str, ...] = ("latency", "throughput", "access", "buffers")
+
+
+def architecture_of(report: CostReport) -> str:
+    """Architecture family name, stripped of the CE-count suffix."""
+    return report.accelerator_name.rsplit("-", 1)[0]
+
+
+def ce_count_of(report: CostReport) -> int:
+    """CE count parsed from the instance name suffix."""
+    tail = report.accelerator_name.rsplit("-", 1)[-1]
+    try:
+        return int(tail)
+    except ValueError:
+        return sum(1 for _ in report.blocks)
+
+
+def _metric_value(report: CostReport, metric: str) -> float:
+    return report.metric(metric)
+
+
+def best_instances(
+    reports: Sequence[CostReport], metric: str
+) -> List[CostReport]:
+    """Reports achieving the best value of ``metric``, best first."""
+    if not reports:
+        return []
+    higher = metric_is_higher_better(metric)
+    return sorted(
+        reports,
+        key=lambda report: _metric_value(report, metric),
+        reverse=higher,
+    )
+
+
+@dataclass(frozen=True)
+class MetricWinners:
+    """Table V cell: architectures tied for best in one metric."""
+
+    metric: str
+    best_value: float
+    winners: Tuple[Tuple[str, int], ...]  # (architecture, ce_count)
+
+    def architectures(self) -> List[str]:
+        seen: List[str] = []
+        for architecture, _count in self.winners:
+            if architecture not in seen:
+                seen.append(architecture)
+        return seen
+
+
+def winners_with_ties(
+    reports: Sequence[CostReport], metric: str, tie_threshold: float = TIE_THRESHOLD
+) -> MetricWinners:
+    """Best accelerator(s) for ``metric`` with the paper's 10% tie rule.
+
+    For each architecture family only its best instance competes; a family
+    whose best is within ``tie_threshold`` of the overall best ties.
+    """
+    ranked = best_instances(reports, metric)
+    if not ranked:
+        raise ValueError("no reports to rank")
+    higher = metric_is_higher_better(metric)
+    best_value = _metric_value(ranked[0], metric)
+
+    family_best: Dict[str, CostReport] = {}
+    for report in ranked:
+        family = architecture_of(report)
+        if family not in family_best:
+            family_best[family] = report
+
+    winners: List[Tuple[str, int]] = []
+    for family, report in family_best.items():
+        value = _metric_value(report, metric)
+        if higher:
+            tied = value >= best_value * (1.0 - tie_threshold)
+        else:
+            tied = value <= best_value * (1.0 + tie_threshold)
+        if tied:
+            winners.append((family, ce_count_of(report)))
+    return MetricWinners(metric=metric, best_value=best_value, winners=tuple(winners))
+
+
+def normalized_comparison(
+    reports: Sequence[CostReport], metrics: Sequence[str] = ("latency", "buffers", "access")
+) -> Dict[str, Dict[str, float]]:
+    """Table I: per accelerator, each metric normalized to the metric's best.
+
+    All three Table I metrics are costs, so every value is >= 1.0 and the
+    best accelerator in a metric scores exactly 1.0.
+    """
+    table: Dict[str, Dict[str, float]] = {}
+    for metric in metrics:
+        best = min(_metric_value(report, metric) for report in reports)
+        for report in reports:
+            row = table.setdefault(report.accelerator_name, {})
+            row[metric] = _metric_value(report, metric) / best if best else float("inf")
+    return table
+
+
+def comparison_table(reports: Sequence[CostReport]) -> str:
+    """Render the Table I layout as text."""
+    table = normalized_comparison(reports)
+    metrics = ("latency", "buffers", "access")
+    header = f"{'accelerator':<20}" + "".join(f"{m:>12}" for m in metrics)
+    lines = [header, "-" * len(header)]
+    for name, row in table.items():
+        lines.append(f"{name:<20}" + "".join(f"{row[m]:>12.2f}" for m in metrics))
+    return "\n".join(lines)
+
+
+#: Unambiguous short names for the Table V cells.
+_SHORT_NAMES = {"Segmented": "Seg", "SegmentedRR": "SegRR", "Hybrid": "Hyb"}
+
+
+def short_architecture_name(architecture: str) -> str:
+    """Collision-free abbreviation used in rendered tables."""
+    return _SHORT_NAMES.get(architecture, architecture[:6])
+
+
+def best_architecture_table(
+    sweeps: Dict[Tuple[str, str], Sequence[CostReport]],
+) -> str:
+    """Render the Table V layout: (board, model) columns x metric rows.
+
+    ``sweeps`` maps ``(board, model)`` to that pair's sweep of cost reports.
+    Each cell lists the tied winners as ``Arch(ce)`` entries.
+    """
+    columns = list(sweeps)
+    lines = []
+    header = f"{'metric':<12}" + "".join(
+        f"{board[:6] + '/' + model[:6]:>26}" for board, model in columns
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for metric in HEADLINE_METRICS:
+        row = f"{metric:<12}"
+        for key in columns:
+            winners = winners_with_ties(list(sweeps[key]), metric)
+            cell = ",".join(
+                f"{short_architecture_name(arch)}({count})"
+                for arch, count in winners.winners
+            )
+            row += f"{cell:>26}"
+        lines.append(row)
+    return "\n".join(lines)

@@ -1,0 +1,164 @@
+"""Resource sensitivity analysis.
+
+Table V's central observation is that the best architecture changes with
+the resource budget. This module quantifies that: it rescales one board
+resource at a time (PEs, BRAM, off-chip bandwidth), re-evaluates an
+architecture, and reports how each headline metric responds — exposing
+whether a design is compute-, memory-capacity-, or bandwidth-limited.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.cnn.graph import CNNGraph
+from repro.core.builder import MultipleCEBuilder
+from repro.core.cost.model import default_model
+from repro.core.cost.results import CostReport
+from repro.core.notation import ArchitectureSpec
+from repro.hw.boards import FPGABoard
+from repro.hw.datatypes import DEFAULT_PRECISION, Precision
+from repro.utils.errors import MCCMError
+
+#: Board resources that can be scaled independently.
+RESOURCES: Tuple[str, ...] = ("pes", "bram", "bandwidth")
+
+#: Default scaling factors swept per resource.
+DEFAULT_FACTORS: Tuple[float, ...] = (0.5, 0.75, 1.0, 1.5, 2.0)
+
+
+def scaled_board(board: FPGABoard, resource: str, factor: float) -> FPGABoard:
+    """A copy of ``board`` with one resource scaled by ``factor``."""
+    if factor <= 0:
+        raise ValueError(f"factor must be positive, got {factor}")
+    if resource == "pes":
+        return replace(
+            board,
+            name=f"{board.name}[pes x{factor:g}]",
+            dsp_count=max(1, int(round(board.dsp_count * factor))),
+        )
+    if resource == "bram":
+        return replace(
+            board,
+            name=f"{board.name}[bram x{factor:g}]",
+            bram_bytes=max(1, int(round(board.bram_bytes * factor))),
+        )
+    if resource == "bandwidth":
+        return replace(
+            board,
+            name=f"{board.name}[bw x{factor:g}]",
+            bandwidth_gbps=board.bandwidth_gbps * factor,
+        )
+    raise KeyError(f"unknown resource {resource!r}; expected one of {RESOURCES}")
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """One (resource, factor) evaluation."""
+
+    resource: str
+    factor: float
+    report: CostReport
+
+
+@dataclass(frozen=True)
+class SensitivityProfile:
+    """Sweeps of one architecture across resource scalings."""
+
+    architecture: str
+    points: Tuple[SensitivityPoint, ...]
+
+    def series(self, resource: str, metric: str) -> List[Tuple[float, float]]:
+        """(factor, metric value) pairs for one resource, factor-sorted."""
+        pairs = [
+            (point.factor, point.report.metric(metric))
+            for point in self.points
+            if point.resource == resource
+        ]
+        return sorted(pairs)
+
+    def elasticity(self, resource: str, metric: str) -> float:
+        """Log-log slope of ``metric`` vs the resource factor.
+
+        ~0 means the metric is insensitive to the resource; an elasticity
+        of -1 for latency vs PEs means perfectly compute-bound scaling.
+        """
+        import math
+
+        series = [
+            (factor, value)
+            for factor, value in self.series(resource, metric)
+            if factor > 0 and value > 0
+        ]
+        if len(series) < 2:
+            raise ValueError(f"not enough points for {resource}/{metric}")
+        first_factor, first_value = series[0]
+        last_factor, last_value = series[-1]
+        return (math.log(last_value) - math.log(first_value)) / (
+            math.log(last_factor) - math.log(first_factor)
+        )
+
+    def dominant_resource(self, metric: str = "latency") -> str:
+        """The resource whose scaling moves ``metric`` most (by |elasticity|)."""
+        best = None
+        best_magnitude = -1.0
+        for resource in RESOURCES:
+            try:
+                magnitude = abs(self.elasticity(resource, metric))
+            except ValueError:
+                continue
+            if magnitude > best_magnitude:
+                best = resource
+                best_magnitude = magnitude
+        if best is None:
+            raise ValueError("profile has no usable series")
+        return best
+
+    def table(self, metric: str = "latency") -> str:
+        header = f"{'resource':<12}" + "".join(
+            f"x{factor:<9g}" for factor in sorted({p.factor for p in self.points})
+        ) + "elasticity"
+        lines = [f"{self.architecture} — {metric}", header, "-" * len(header)]
+        for resource in RESOURCES:
+            series = self.series(resource, metric)
+            if not series:
+                continue
+            row = f"{resource:<12}" + "".join(f"{value:<10.4g}" for _f, value in series)
+            try:
+                row += f"{self.elasticity(resource, metric):10.2f}"
+            except ValueError:
+                row += f"{'n/a':>10}"
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def sensitivity_profile(
+    graph: CNNGraph,
+    board: FPGABoard,
+    spec: ArchitectureSpec,
+    factors: Sequence[float] = DEFAULT_FACTORS,
+    resources: Sequence[str] = RESOURCES,
+    precision: Precision = DEFAULT_PRECISION,
+) -> SensitivityProfile:
+    """Evaluate ``spec`` under independent scalings of each board resource.
+
+    Infeasible points (e.g. fewer PEs than CEs) are skipped silently; the
+    baseline factor 1.0 is always included per resource.
+    """
+    model = default_model()
+    points: List[SensitivityPoint] = []
+    for resource in resources:
+        swept = sorted(set(factors) | {1.0})
+        for factor in swept:
+            try:
+                builder = MultipleCEBuilder(
+                    graph, scaled_board(board, resource, factor), precision
+                )
+                report = model.evaluate(builder.build(spec))
+            except MCCMError:
+                continue
+            points.append(
+                SensitivityPoint(resource=resource, factor=factor, report=report)
+            )
+    return SensitivityProfile(architecture=spec.name, points=tuple(points))

@@ -1,0 +1,80 @@
+"""Per-segment PE underutilization and buffer shares (Use case 3, Fig. 9).
+
+Fig. 9a normalizes each segment's buffer requirement to one accelerator's
+total; Fig. 9b normalizes each segment's PE underutilization to the minimum
+underutilization across the compared accelerators. Together they expose
+*where* an architecture's bottleneck lives, guiding custom designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.core.cost.results import CostReport
+
+
+@dataclass(frozen=True)
+class SegmentUtilization:
+    """One segment's PE utilization facts."""
+
+    index: int
+    label: str
+    utilization: float
+    underutilization: float
+    pe_count: int
+
+
+def per_segment_utilization(report: CostReport) -> List[SegmentUtilization]:
+    """Utilization profile across an accelerator's segments."""
+    return [
+        SegmentUtilization(
+            index=segment.index,
+            label=segment.label,
+            utilization=segment.utilization,
+            underutilization=segment.underutilization,
+            pe_count=segment.pe_count,
+        )
+        for segment in report.segments
+    ]
+
+
+def normalized_buffer_shares(report: CostReport) -> List[float]:
+    """Fig. 9a: per-segment buffer requirement over the accelerator total."""
+    totals = [segment.buffer_requirement_bytes for segment in report.segments]
+    denominator = sum(totals)
+    if denominator <= 0:
+        return [0.0 for _ in totals]
+    return [value / denominator for value in totals]
+
+
+def normalized_underutilization(
+    reports: Sequence[CostReport],
+) -> List[List[float]]:
+    """Fig. 9b: per-segment underutilization normalized to the global min.
+
+    The minimum is taken over every segment of every compared accelerator,
+    so a value of 1.0 marks the best-utilized segment anywhere and larger
+    values show how many times worse a segment is.
+    """
+    all_values = [
+        segment.underutilization for report in reports for segment in report.segments
+    ]
+    floor = min((value for value in all_values if value > 0), default=1.0)
+    result: List[List[float]] = []
+    for report in reports:
+        result.append(
+            [max(segment.underutilization, 0.0) / floor for segment in report.segments]
+        )
+    return result
+
+
+def slowest_segment(report: CostReport) -> Tuple[int, float]:
+    """Index and wall-cycles of the segment bounding a coarse pipeline.
+
+    "their throughput is determined by the slowest segment execution time"
+    (Use case 3 discussion).
+    """
+    segments = report.segments
+    worst = max(range(len(segments)), key=lambda i: segments[i].time_cycles)
+    return worst, segments[worst].time_cycles

@@ -1,0 +1,121 @@
+"""High-level convenience API: evaluate an accelerator in one call.
+
+This is the library's front door, mirroring the methodology's inputs
+(Fig. 3): a CNN (name or graph), an FPGA (name or board), and a multiple-CE
+description (template name, notation string, or explicit spec).
+
+>>> from repro.api import evaluate
+>>> report = evaluate("resnet50", "zc706", "segmentedrr", ce_count=2)
+>>> report.throughput_fps  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Union
+
+from repro.cnn.graph import CNNGraph
+from repro.cnn.zoo import load_model
+from repro.core.architectures import (
+    PAPER_ARCHITECTURES,
+    PAPER_CE_COUNTS,
+    TEMPLATES,
+    build_template,
+)
+from repro.core.builder import Accelerator, MultipleCEBuilder
+from repro.core.cost.model import default_model
+from repro.core.cost.results import CostReport
+from repro.core.notation import ArchitectureSpec, parse_notation
+from repro.hw.boards import FPGABoard, get_board
+from repro.hw.datatypes import DEFAULT_PRECISION, Precision
+from repro.utils.errors import MCCMError
+
+ModelLike = Union[str, CNNGraph]
+BoardLike = Union[str, FPGABoard]
+ArchitectureLike = Union[str, ArchitectureSpec]
+
+
+def resolve_model(model: ModelLike) -> CNNGraph:
+    """Accept a zoo name or an already-built graph."""
+    if isinstance(model, CNNGraph):
+        return model
+    return load_model(model)
+
+
+def resolve_board(board: BoardLike) -> FPGABoard:
+    """Accept a Table II board name or an explicit board description."""
+    if isinstance(board, FPGABoard):
+        return board
+    return get_board(board)
+
+
+def build_accelerator(
+    model: ModelLike,
+    board: BoardLike,
+    architecture: ArchitectureLike,
+    ce_count: Optional[int] = None,
+    precision: Precision = DEFAULT_PRECISION,
+) -> Accelerator:
+    """Build (without evaluating) a multiple-CE accelerator.
+
+    ``architecture`` may be a template name (``"segmented"``,
+    ``"segmentedrr"``, ``"hybrid"`` — requires ``ce_count``), a notation
+    string (``"{L1-L4: CE1, L5-Last: CE2-CE4}"``), or a full
+    :class:`ArchitectureSpec`.
+    """
+    graph = resolve_model(model)
+    fpga = resolve_board(board)
+    builder = MultipleCEBuilder(graph, fpga, precision)
+    if isinstance(architecture, ArchitectureSpec):
+        spec = architecture
+    elif architecture.strip().startswith("{"):
+        spec = parse_notation(architecture)
+    else:
+        if ce_count is None:
+            raise MCCMError(
+                f"template {architecture!r} needs an explicit ce_count"
+            )
+        spec = build_template(architecture, builder.conv_specs, ce_count)
+    return builder.build(spec)
+
+
+def evaluate(
+    model: ModelLike,
+    board: BoardLike,
+    architecture: ArchitectureLike,
+    ce_count: Optional[int] = None,
+    precision: Precision = DEFAULT_PRECISION,
+) -> CostReport:
+    """Build and evaluate an accelerator; returns the full cost report."""
+    accelerator = build_accelerator(model, board, architecture, ce_count, precision)
+    return default_model().evaluate(accelerator)
+
+
+def sweep(
+    model: ModelLike,
+    board: BoardLike,
+    architectures: Optional[Iterable[str]] = None,
+    ce_counts: Optional[Iterable[int]] = None,
+    precision: Precision = DEFAULT_PRECISION,
+) -> List[CostReport]:
+    """Evaluate the paper's baseline sweep: architectures x CE counts.
+
+    Defaults to the paper's setup — the three Section II-C architectures and
+    CE counts 2..11 (Section V-A3). Instances whose CE count is infeasible
+    for the CNN (e.g. SegmentedRR with more CEs than layers) are skipped.
+    """
+    graph = resolve_model(model)
+    fpga = resolve_board(board)
+    builder = MultipleCEBuilder(graph, fpga, precision)
+    model_mccm = default_model()
+    names = list(architectures) if architectures is not None else list(PAPER_ARCHITECTURES)
+    counts = list(ce_counts) if ce_counts is not None else list(PAPER_CE_COUNTS)
+    reports: List[CostReport] = []
+    for name in names:
+        for count in counts:
+            try:
+                spec = build_template(name, builder.conv_specs, count)
+                accelerator = builder.build(spec)
+            except MCCMError:
+                continue
+            reports.append(model_mccm.evaluate(accelerator))
+    return reports

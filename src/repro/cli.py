@@ -1,0 +1,162 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror the library's use cases:
+
+* ``evaluate`` — one accelerator, all four metrics (optionally JSON).
+* ``sweep`` — the paper's architecture x CE-count grid, as a table or CSV.
+* ``validate`` — model vs reference-simulator accuracy (Eq. 10).
+* ``dse`` — sample the custom design space and print the Pareto front.
+* ``models`` / ``boards`` — list the registered CNNs and FPGAs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.pareto import report_front
+from repro.analysis.reporting import comparison_table
+from repro.api import build_accelerator, evaluate, resolve_board, resolve_model, sweep
+from repro.cnn.stats import collect_stats, stats_table
+from repro.cnn.zoo import available_models, load_model
+from repro.core.cost.export import report_to_json, reports_to_csv
+from repro.core.cost.model import default_model
+from repro.dse import CustomDesignSpace, DesignEvaluator, random_search
+from repro.hw.boards import BOARDS, available_boards
+from repro.synth.simulator import SynthesisSimulator
+from repro.synth.validate import ValidationRecord
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", required=True, help="zoo model name, e.g. resnet50")
+    parser.add_argument("--board", required=True, help="board name, e.g. zc706")
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    report = evaluate(args.model, args.board, args.arch, ce_count=args.ces)
+    if args.json:
+        print(report_to_json(report))
+    else:
+        print(report.summary())
+        print(f"notation: {report.notation}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    reports = sweep(
+        args.model,
+        args.board,
+        architectures=args.arch or None,
+        ce_counts=range(args.min_ces, args.max_ces + 1),
+    )
+    if args.csv:
+        print(reports_to_csv(reports), end="")
+    else:
+        print(comparison_table(reports))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    accelerator = build_accelerator(args.model, args.board, args.arch, ce_count=args.ces)
+    report = default_model().evaluate(accelerator)
+    simulation = SynthesisSimulator(accelerator).run()
+    record = ValidationRecord.from_results(
+        args.arch, args.model, args.ces, report, simulation
+    )
+    for metric, accuracy in record.accuracies.items():
+        print(f"{metric:<12} {accuracy:6.1f}%")
+    return 0
+
+
+def _cmd_dse(args: argparse.Namespace) -> int:
+    graph = resolve_model(args.model)
+    board = resolve_board(args.board)
+    evaluator = DesignEvaluator(graph, board)
+    space = CustomDesignSpace(graph.conv_specs())
+    result = random_search(
+        evaluator, space, samples=args.samples, seed=args.seed, cost_metric=args.cost
+    )
+    print(
+        f"space {space.size():,} designs; evaluated {result.stats.evaluated} "
+        f"at {result.stats.ms_per_design:.1f} ms/design"
+    )
+    front = report_front([report for _d, report in result.evaluated], args.cost)
+    for report in front:
+        print(
+            f"{report.accelerator_name:<22}{report.throughput_fps:>8.1f} FPS  "
+            f"{report.metric(args.cost) / 2**20:>8.2f} MiB  {report.notation}"
+        )
+    return 0
+
+
+def _cmd_models(_args: argparse.Namespace) -> int:
+    stats = [collect_stats(load_model(name)) for name in available_models()]
+    print(stats_table(stats))
+    return 0
+
+
+def _cmd_boards(_args: argparse.Namespace) -> int:
+    header = f"{'board':<10}{'DSPs':>8}{'BRAM MiB':>10}{'BW GB/s':>9}"
+    print(header)
+    print("-" * len(header))
+    for name in available_boards():
+        board = BOARDS[name]
+        print(
+            f"{name:<10}{board.dsp_count:>8}{board.bram_bytes / 2**20:>10.1f}"
+            f"{board.bandwidth_gbps:>9.1f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MCCM: analytical cost model for multiple-CE CNN accelerators",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    cmd = commands.add_parser("evaluate", help="evaluate one accelerator")
+    _add_common(cmd)
+    cmd.add_argument("--arch", required=True, help="template name or notation string")
+    cmd.add_argument("--ces", type=int, default=None, help="CE count (templates)")
+    cmd.add_argument("--json", action="store_true", help="emit the full JSON report")
+    cmd.set_defaults(func=_cmd_evaluate)
+
+    cmd = commands.add_parser("sweep", help="architectures x CE counts grid")
+    _add_common(cmd)
+    cmd.add_argument("--arch", nargs="*", help="restrict architectures")
+    cmd.add_argument("--min-ces", type=int, default=2)
+    cmd.add_argument("--max-ces", type=int, default=11)
+    cmd.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
+    cmd.set_defaults(func=_cmd_sweep)
+
+    cmd = commands.add_parser("validate", help="accuracy vs reference simulator")
+    _add_common(cmd)
+    cmd.add_argument("--arch", required=True)
+    cmd.add_argument("--ces", type=int, required=True)
+    cmd.set_defaults(func=_cmd_validate)
+
+    cmd = commands.add_parser("dse", help="explore the custom design space")
+    _add_common(cmd)
+    cmd.add_argument("--samples", type=int, default=500)
+    cmd.add_argument("--seed", type=int, default=0)
+    cmd.add_argument("--cost", default="buffers", choices=["buffers", "access"])
+    cmd.set_defaults(func=_cmd_dse)
+
+    cmd = commands.add_parser("models", help="list zoo models")
+    cmd.set_defaults(func=_cmd_models)
+
+    cmd = commands.add_parser("boards", help="list FPGA boards")
+    cmd.set_defaults(func=_cmd_boards)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

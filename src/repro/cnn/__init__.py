@@ -1,0 +1,48 @@
+"""CNN intermediate representation: layers, DAGs, statistics, model zoo."""
+
+from repro.cnn.graph import CNNGraph, ConvSpec
+from repro.cnn.layers import (
+    AddLayer,
+    ConcatLayer,
+    ConvLayer,
+    DenseLayer,
+    DepthwiseConvLayer,
+    GlobalPoolLayer,
+    InputLayer,
+    Layer,
+    LayerKind,
+    Padding,
+    PoolLayer,
+    TensorShape,
+)
+from repro.cnn.serialize import (
+    graph_from_dict,
+    graph_from_json,
+    graph_to_dict,
+    graph_to_json,
+)
+from repro.cnn.stats import ModelStats, collect_stats, stats_table
+
+__all__ = [
+    "CNNGraph",
+    "ConvSpec",
+    "AddLayer",
+    "ConcatLayer",
+    "ConvLayer",
+    "DenseLayer",
+    "DepthwiseConvLayer",
+    "GlobalPoolLayer",
+    "InputLayer",
+    "Layer",
+    "LayerKind",
+    "Padding",
+    "PoolLayer",
+    "TensorShape",
+    "graph_from_dict",
+    "graph_from_json",
+    "graph_to_dict",
+    "graph_to_json",
+    "ModelStats",
+    "collect_stats",
+    "stats_table",
+]

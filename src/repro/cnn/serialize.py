@@ -1,0 +1,172 @@
+"""JSON serialization of CNN graphs.
+
+The paper's methodology accepts a CNN as a "DAG / Keras" description
+(Fig. 3). With no deep-learning framework available offline, the DAG input
+path is a JSON document; this module round-trips :class:`CNNGraph` to and
+from that format so external model descriptions can be fed to the evaluator.
+
+Schema (one JSON object)::
+
+    {
+      "name": "ResNet50",
+      "layers": [
+        {"name": "input", "kind": "input", "shape": [224, 224, 3]},
+        {"name": "conv1", "kind": "conv", "inputs": ["input"],
+         "filters": 64, "kernel_size": [7, 7], "strides": [2, 2],
+         "padding": "same"},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.cnn.graph import CNNGraph
+from repro.cnn.layers import (
+    AddLayer,
+    ConcatLayer,
+    ConvLayer,
+    DenseLayer,
+    DepthwiseConvLayer,
+    GlobalPoolLayer,
+    InputLayer,
+    Layer,
+    LayerKind,
+    Padding,
+    PoolLayer,
+    TensorShape,
+)
+from repro.utils.errors import ShapeError
+
+
+def graph_to_dict(graph: CNNGraph) -> Dict[str, Any]:
+    """Serialize ``graph`` into the JSON-compatible dict schema."""
+    layers: List[Dict[str, Any]] = []
+    for layer in graph.topological_order():
+        entry: Dict[str, Any] = {
+            "name": layer.name,
+            "kind": layer.kind.value,
+            "inputs": graph.predecessors(layer.name),
+            "input_shape": [
+                layer.input_shape.height,
+                layer.input_shape.width,
+                layer.input_shape.channels,
+            ],
+        }
+        if isinstance(layer, ConvLayer):
+            entry.update(
+                filters=layer.filters,
+                kernel_size=list(layer.kernel_size),
+                strides=list(layer.strides),
+                padding=layer.padding.value,
+                groups=layer.groups,
+            )
+        elif isinstance(layer, DepthwiseConvLayer):
+            entry.update(
+                kernel_size=list(layer.kernel_size),
+                strides=list(layer.strides),
+                padding=layer.padding.value,
+                depth_multiplier=layer.depth_multiplier,
+            )
+        elif isinstance(layer, PoolLayer):
+            entry.update(
+                pool_size=list(layer.pool_size),
+                strides=list(layer.strides or layer.pool_size),
+                padding=layer.padding.value,
+                mode=layer.mode,
+            )
+        elif isinstance(layer, DenseLayer):
+            entry.update(units=layer.units)
+        elif isinstance(layer, ConcatLayer):
+            entry.update(extra_channels=layer.extra_channels)
+        layers.append(entry)
+    return {"name": graph.name, "layers": layers}
+
+
+def graph_to_json(graph: CNNGraph, indent: int = 2) -> str:
+    """Serialize ``graph`` to a JSON string."""
+    return json.dumps(graph_to_dict(graph), indent=indent)
+
+
+def _shape_from(entry: Dict[str, Any]) -> TensorShape:
+    shape = entry.get("input_shape") or entry.get("shape")
+    if not shape or len(shape) != 3:
+        raise ShapeError(f"layer {entry.get('name')!r}: missing or bad shape {shape!r}")
+    return TensorShape(int(shape[0]), int(shape[1]), int(shape[2]))
+
+
+def _layer_from_dict(entry: Dict[str, Any]) -> Layer:
+    name = entry.get("name")
+    if not name:
+        raise ShapeError("layer entry missing 'name'")
+    kind = entry.get("kind")
+    shape = _shape_from(entry)
+    if kind == LayerKind.INPUT.value:
+        return InputLayer(name=name, input_shape=shape)
+    if kind in (LayerKind.STANDARD_CONV.value, LayerKind.POINTWISE_CONV.value):
+        return ConvLayer(
+            name=name,
+            input_shape=shape,
+            filters=int(entry["filters"]),
+            kernel_size=tuple(entry.get("kernel_size", (3, 3))),  # type: ignore[arg-type]
+            strides=tuple(entry.get("strides", (1, 1))),  # type: ignore[arg-type]
+            padding=Padding(entry.get("padding", "same")),
+            groups=int(entry.get("groups", 1)),
+        )
+    if kind == LayerKind.DEPTHWISE_CONV.value:
+        return DepthwiseConvLayer(
+            name=name,
+            input_shape=shape,
+            kernel_size=tuple(entry.get("kernel_size", (3, 3))),  # type: ignore[arg-type]
+            strides=tuple(entry.get("strides", (1, 1))),  # type: ignore[arg-type]
+            padding=Padding(entry.get("padding", "same")),
+            depth_multiplier=int(entry.get("depth_multiplier", 1)),
+        )
+    if kind == LayerKind.POOL.value:
+        return PoolLayer(
+            name=name,
+            input_shape=shape,
+            pool_size=tuple(entry.get("pool_size", (2, 2))),  # type: ignore[arg-type]
+            strides=tuple(entry["strides"]) if "strides" in entry else None,  # type: ignore[arg-type]
+            padding=Padding(entry.get("padding", "valid")),
+            mode=entry.get("mode", "max"),
+        )
+    if kind == LayerKind.GLOBAL_POOL.value:
+        return GlobalPoolLayer(name=name, input_shape=shape)
+    if kind == LayerKind.DENSE.value:
+        return DenseLayer(name=name, input_shape=shape, units=int(entry["units"]))
+    if kind == LayerKind.ADD.value:
+        return AddLayer(name=name, input_shape=shape)
+    if kind == LayerKind.CONCAT.value:
+        return ConcatLayer(
+            name=name, input_shape=shape, extra_channels=int(entry.get("extra_channels", 0))
+        )
+    if kind == LayerKind.FLATTEN.value:
+        layer = Layer(name=name, input_shape=shape)
+        layer.kind = LayerKind.FLATTEN
+        return layer
+    raise ShapeError(f"layer {name!r}: unknown kind {kind!r}")
+
+
+def graph_from_dict(data: Dict[str, Any]) -> CNNGraph:
+    """Deserialize a graph from the dict schema, validating shapes."""
+    name = data.get("name")
+    if not name:
+        raise ShapeError("model description missing 'name'")
+    entries = data.get("layers")
+    if not entries:
+        raise ShapeError("model description has no layers")
+    graph = CNNGraph(name)
+    for entry in entries:
+        layer = _layer_from_dict(entry)
+        graph.add(layer, entry.get("inputs", ()))
+    graph.validate()
+    return graph
+
+
+def graph_from_json(text: str) -> CNNGraph:
+    """Deserialize a graph from a JSON string."""
+    return graph_from_dict(json.loads(text))

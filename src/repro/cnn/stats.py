@@ -1,0 +1,69 @@
+"""Aggregate CNN statistics (the quantities in the paper's Table III)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.cnn.graph import CNNGraph
+from repro.cnn.layers import LayerKind
+
+
+@dataclass(frozen=True)
+class ModelStats:
+    """Summary statistics for one CNN.
+
+    ``weights_millions`` and ``conv_layer_count`` correspond to the two rows
+    of Table III; the rest feed the workload-proportional heuristics.
+    """
+
+    name: str
+    conv_layer_count: int
+    total_weights: int
+    conv_weights: int
+    total_macs: int
+    conv_macs: int
+    conv_kind_counts: Dict[str, int]
+    peak_fms_elements: int
+
+    @property
+    def weights_millions(self) -> float:
+        return self.total_weights / 1e6
+
+    @property
+    def gmacs(self) -> float:
+        return self.total_macs / 1e9
+
+    @property
+    def has_depthwise(self) -> bool:
+        return self.conv_kind_counts.get(LayerKind.DEPTHWISE_CONV.value, 0) > 0
+
+
+def collect_stats(graph: CNNGraph) -> ModelStats:
+    """Compute :class:`ModelStats` for ``graph``."""
+    kind_counts: Dict[str, int] = {}
+    for layer in graph.conv_layers():
+        kind_counts[layer.kind.value] = kind_counts.get(layer.kind.value, 0) + 1
+    peak_fms = max((spec.fms_elements for spec in graph.conv_specs()), default=0)
+    return ModelStats(
+        name=graph.name,
+        conv_layer_count=graph.num_conv_layers,
+        total_weights=graph.total_weights,
+        conv_weights=graph.conv_weights,
+        total_macs=graph.total_macs,
+        conv_macs=graph.conv_macs,
+        conv_kind_counts=kind_counts,
+        peak_fms_elements=peak_fms,
+    )
+
+
+def stats_table(stats: List[ModelStats]) -> str:
+    """Render a Table-III-style text table for a list of model stats."""
+    header = f"{'model':<16}{'conv layers':>12}{'weights (M)':>14}{'GMACs':>10}"
+    lines = [header, "-" * len(header)]
+    for entry in stats:
+        lines.append(
+            f"{entry.name:<16}{entry.conv_layer_count:>12}"
+            f"{entry.weights_millions:>14.1f}{entry.gmacs:>10.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""CNN model zoo: the paper's Table III workloads plus classic extras.
+
+Models are built on demand and cached, since graph construction is cheap but
+not free and benchmarks request the same models repeatedly.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Callable, Dict, List
+
+from repro.cnn.graph import CNNGraph
+from repro.cnn.zoo.classic import alexnet, vgg16
+from repro.cnn.zoo.densenet import build_densenet, densenet121
+from repro.cnn.zoo.efficientnet import efficientnet_lite0
+from repro.cnn.zoo.mobilenet import mobilenet_v2
+from repro.cnn.zoo.resnet import build_resnet, resnet50, resnet152
+from repro.cnn.zoo.squeezenet import squeezenet
+from repro.cnn.zoo.xception import xception
+
+_BUILDERS: Dict[str, Callable[[], CNNGraph]] = {
+    "resnet50": resnet50,
+    "resnet152": resnet152,
+    "xception": xception,
+    "mobilenetv2": mobilenet_v2,
+    "densenet121": densenet121,
+    "vgg16": vgg16,
+    "alexnet": alexnet,
+    "efficientnetlite0": efficientnet_lite0,
+    "squeezenet": squeezenet,
+}
+
+#: Abbreviations used throughout the paper's tables and figures.
+ABBREVIATIONS: Dict[str, str] = {
+    "res50": "resnet50",
+    "res152": "resnet152",
+    "xcp": "xception",
+    "mobv2": "mobilenetv2",
+    "dns121": "densenet121",
+    "efflite0": "efficientnetlite0",
+    "sqz": "squeezenet",
+}
+
+#: The five Table III workloads, in the paper's column order.
+PAPER_MODELS: List[str] = ["resnet152", "resnet50", "xception", "densenet121", "mobilenetv2"]
+
+
+def available_models() -> List[str]:
+    """Canonical names of every model the zoo can build."""
+    return sorted(_BUILDERS)
+
+
+@lru_cache(maxsize=None)
+def _load_canonical(key: str) -> CNNGraph:
+    return _BUILDERS[key]()
+
+
+def load_model(name: str) -> CNNGraph:
+    """Build (or fetch the cached) model by canonical name or abbreviation.
+
+    Lookup is case-insensitive and the cache is keyed on the canonical
+    name, so every spelling returns the same graph object.
+    """
+    key = name.strip().lower()
+    key = ABBREVIATIONS.get(key, key)
+    if key not in _BUILDERS:
+        raise KeyError(f"unknown model {name!r}; available: {available_models()}")
+    return _load_canonical(key)
+
+
+__all__ = [
+    "ABBREVIATIONS",
+    "PAPER_MODELS",
+    "available_models",
+    "load_model",
+    "alexnet",
+    "build_densenet",
+    "build_resnet",
+    "densenet121",
+    "efficientnet_lite0",
+    "squeezenet",
+    "mobilenet_v2",
+    "resnet50",
+    "resnet152",
+    "vgg16",
+    "xception",
+]

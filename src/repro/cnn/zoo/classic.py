@@ -1,0 +1,43 @@
+"""Classic plain CNNs (VGG-16, AlexNet) kept as extra workloads.
+
+These are not in the paper's Table III but exercise the cost model on
+shallow, channel-heavy networks with no residuals, which is a useful
+contrast in tests and examples.
+"""
+
+from __future__ import annotations
+
+from repro.cnn.graph import CNNGraph
+from repro.cnn.layers import Padding
+from repro.cnn.zoo.common import NetBuilder
+
+
+def vgg16(input_size: int = 224, num_classes: int = 1000) -> CNNGraph:
+    """VGG-16: 13 conv layers + 3 dense layers, ~138M weights."""
+    net = NetBuilder("VGG16", (input_size, input_size, 3))
+    plan = [(64, 2), (128, 2), (256, 3), (512, 3), (512, 3)]
+    for stage, (filters, repeats) in enumerate(plan, start=1):
+        for block in range(1, repeats + 1):
+            net.conv(filters, kernel=3, name=f"s{stage}c{block}")
+        net.pool(size=2, stride=2, mode="max", name=f"s{stage}_pool")
+    net.dense(4096, name="fc1")
+    net.dense(4096, name="fc2")
+    net.dense(num_classes, name="classifier")
+    return net.build()
+
+
+def alexnet(input_size: int = 227, num_classes: int = 1000) -> CNNGraph:
+    """AlexNet: 5 conv layers + 3 dense layers."""
+    net = NetBuilder("AlexNet", (input_size, input_size, 3))
+    net.conv(96, kernel=11, stride=4, padding=Padding.VALID, name="conv1")
+    net.pool(size=3, stride=2, mode="max", name="pool1")
+    net.conv(256, kernel=5, name="conv2")
+    net.pool(size=3, stride=2, mode="max", name="pool2")
+    net.conv(384, kernel=3, name="conv3")
+    net.conv(384, kernel=3, name="conv4")
+    net.conv(256, kernel=3, name="conv5")
+    net.pool(size=3, stride=2, mode="max", name="pool5")
+    net.dense(4096, name="fc1")
+    net.dense(4096, name="fc2")
+    net.dense(num_classes, name="classifier")
+    return net.build()

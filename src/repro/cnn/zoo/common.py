@@ -1,0 +1,177 @@
+"""Fluent builder used by the model zoo to assemble CNN graphs.
+
+The zoo constructs each network layer by layer; this helper keeps track of
+the "cursor" (the most recently added layer) and derives input shapes from
+predecessor outputs so the zoo modules read like architecture descriptions.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.cnn.graph import CNNGraph
+from repro.cnn.layers import (
+    AddLayer,
+    ConcatLayer,
+    ConvLayer,
+    DenseLayer,
+    DepthwiseConvLayer,
+    GlobalPoolLayer,
+    InputLayer,
+    Padding,
+    PoolLayer,
+    TensorShape,
+)
+
+IntOrPair = Union[int, Tuple[int, int]]
+
+
+def _pair(value: IntOrPair) -> Tuple[int, int]:
+    if isinstance(value, int):
+        return (value, value)
+    return (int(value[0]), int(value[1]))
+
+
+class NetBuilder:
+    """Incremental CNN graph builder with automatic shape threading."""
+
+    def __init__(self, name: str, input_shape: Tuple[int, int, int]) -> None:
+        self.graph = CNNGraph(name)
+        shape = TensorShape(*input_shape)
+        self.graph.add(InputLayer(name="input", input_shape=shape))
+        self.head = "input"
+        self._counters = {prefix: itertools.count(1) for prefix in ()}
+
+    def _auto_name(self, prefix: str) -> str:
+        counter = self._counters.setdefault(prefix, itertools.count(1))
+        return f"{prefix}{next(counter)}"
+
+    def output_shape(self, layer_name: Optional[str] = None) -> TensorShape:
+        """Output shape of ``layer_name`` (default: the cursor layer)."""
+        return self.graph.layer(layer_name or self.head).output_shape
+
+    # -- layer adders; each returns the new layer's name and moves the cursor --
+    def conv(
+        self,
+        filters: int,
+        kernel: IntOrPair = 3,
+        stride: IntOrPair = 1,
+        padding: Padding = Padding.SAME,
+        groups: int = 1,
+        source: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> str:
+        source = source or self.head
+        layer = ConvLayer(
+            name=name or self._auto_name("conv"),
+            input_shape=self.output_shape(source),
+            filters=filters,
+            kernel_size=_pair(kernel),
+            strides=_pair(stride),
+            padding=padding,
+            groups=groups,
+        )
+        self.graph.add(layer, [source])
+        self.head = layer.name
+        return layer.name
+
+    def dwconv(
+        self,
+        kernel: IntOrPair = 3,
+        stride: IntOrPair = 1,
+        padding: Padding = Padding.SAME,
+        source: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> str:
+        source = source or self.head
+        layer = DepthwiseConvLayer(
+            name=name or self._auto_name("dwconv"),
+            input_shape=self.output_shape(source),
+            kernel_size=_pair(kernel),
+            strides=_pair(stride),
+            padding=padding,
+        )
+        self.graph.add(layer, [source])
+        self.head = layer.name
+        return layer.name
+
+    def separable(
+        self,
+        filters: int,
+        kernel: IntOrPair = 3,
+        stride: IntOrPair = 1,
+        source: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> str:
+        """Depthwise-separable convolution: depthwise then pointwise."""
+        base = name or self._auto_name("sep")
+        self.dwconv(kernel=kernel, stride=stride, source=source, name=f"{base}_dw")
+        return self.conv(filters=filters, kernel=1, name=f"{base}_pw")
+
+    def pool(
+        self,
+        size: IntOrPair = 2,
+        stride: Optional[IntOrPair] = None,
+        padding: Padding = Padding.VALID,
+        mode: str = "max",
+        source: Optional[str] = None,
+        name: Optional[str] = None,
+    ) -> str:
+        source = source or self.head
+        layer = PoolLayer(
+            name=name or self._auto_name("pool"),
+            input_shape=self.output_shape(source),
+            pool_size=_pair(size),
+            strides=_pair(stride) if stride is not None else None,
+            padding=padding,
+            mode=mode,
+        )
+        self.graph.add(layer, [source])
+        self.head = layer.name
+        return layer.name
+
+    def global_pool(self, source: Optional[str] = None, name: Optional[str] = None) -> str:
+        source = source or self.head
+        layer = GlobalPoolLayer(
+            name=name or self._auto_name("gap"), input_shape=self.output_shape(source)
+        )
+        self.graph.add(layer, [source])
+        self.head = layer.name
+        return layer.name
+
+    def dense(self, units: int, source: Optional[str] = None, name: Optional[str] = None) -> str:
+        source = source or self.head
+        layer = DenseLayer(
+            name=name or self._auto_name("fc"),
+            input_shape=self.output_shape(source),
+            units=units,
+        )
+        self.graph.add(layer, [source])
+        self.head = layer.name
+        return layer.name
+
+    def residual_add(self, left: str, right: str, name: Optional[str] = None) -> str:
+        layer = AddLayer(
+            name=name or self._auto_name("add"), input_shape=self.output_shape(left)
+        )
+        self.graph.add(layer, [left, right])
+        self.head = layer.name
+        return layer.name
+
+    def concat(self, sources: Sequence[str], name: Optional[str] = None) -> str:
+        primary = sources[0]
+        extra = sum(self.output_shape(s).channels for s in sources[1:])
+        layer = ConcatLayer(
+            name=name or self._auto_name("concat"),
+            input_shape=self.output_shape(primary),
+            extra_channels=extra,
+        )
+        self.graph.add(layer, list(sources))
+        self.head = layer.name
+        return layer.name
+
+    def build(self) -> CNNGraph:
+        """Validate and return the completed graph."""
+        self.graph.validate()
+        return self.graph

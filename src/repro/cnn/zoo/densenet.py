@@ -1,0 +1,54 @@
+"""DenseNet-121 (Huang et al., CVPR 2017): densely connected blocks.
+
+Dense blocks of [6, 12, 24, 16] layers (each a 1x1 bottleneck + 3x3 conv)
+joined by channel concatenation, with 1x1 transition convs between blocks:
+1 + 2*(6+12+24+16) + 3 = 120 conv layers and ~8M weights (Table III).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.cnn.graph import CNNGraph
+from repro.cnn.zoo.common import NetBuilder
+
+GROWTH_RATE = 32
+DENSENET121_BLOCKS = [6, 12, 24, 16]
+
+
+def _dense_layer(net: NetBuilder, block: int, layer: int) -> str:
+    """One dense layer: 1x1 bottleneck to 4k channels, then 3x3 to k channels."""
+    prefix = f"d{block}l{layer}"
+    entry = net.head
+    net.conv(4 * GROWTH_RATE, kernel=1, source=entry, name=f"{prefix}_bottleneck")
+    fresh = net.conv(GROWTH_RATE, kernel=3, name=f"{prefix}_conv")
+    return net.concat([entry, fresh], name=f"{prefix}_concat")
+
+
+def _transition(net: NetBuilder, index: int) -> None:
+    """Transition: 1x1 conv halving channels, then 2x2 average pool."""
+    channels = net.output_shape().channels
+    net.conv(channels // 2, kernel=1, name=f"trans{index}_conv")
+    net.pool(size=2, stride=2, mode="avg", name=f"trans{index}_pool")
+
+
+def build_densenet(
+    blocks: Sequence[int], name: str, input_size: int = 224, num_classes: int = 1000
+) -> CNNGraph:
+    """Construct a DenseNet with the given dense-block sizes."""
+    net = NetBuilder(name, (input_size, input_size, 3))
+    net.conv(2 * GROWTH_RATE, kernel=7, stride=2, name="stem_conv")
+    net.pool(size=3, stride=2, mode="max", name="stem_pool")
+    for block_index, num_layers in enumerate(blocks, start=1):
+        for layer_index in range(1, num_layers + 1):
+            _dense_layer(net, block_index, layer_index)
+        if block_index < len(blocks):
+            _transition(net, block_index)
+    net.global_pool(name="avg_pool")
+    net.dense(num_classes, name="classifier")
+    return net.build()
+
+
+def densenet121(input_size: int = 224) -> CNNGraph:
+    """DenseNet-121: 120 conv layers, ~8M weights."""
+    return build_densenet(DENSENET121_BLOCKS, "DenseNet121", input_size=input_size)

@@ -1,0 +1,63 @@
+"""EfficientNet-Lite0 (Tan & Le, ICML 2019; Lite variant without SE).
+
+The paper argues its results generalize because MobileNetV2's MBConv block
+"is used in EfficientNet [35] and MnasNet [34]" — this model exercises
+exactly that generalization: the same inverted-residual structure at
+different widths/depths (the Lite variant drops squeeze-and-excitation,
+which has no convolutional-loop-nest representation).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.cnn.graph import CNNGraph
+from repro.cnn.zoo.common import NetBuilder
+
+#: (expansion, output channels, repeats, first stride, kernel) per stage —
+#: EfficientNet-B0's Table 1 with the Lite tweaks (fixed stem/head).
+EFFICIENTNET_LITE0_STAGES: List[Tuple[int, int, int, int, int]] = [
+    (1, 16, 1, 1, 3),
+    (6, 24, 2, 2, 3),
+    (6, 40, 2, 2, 5),
+    (6, 80, 3, 2, 3),
+    (6, 112, 3, 1, 5),
+    (6, 192, 4, 2, 5),
+    (6, 320, 1, 1, 3),
+]
+
+
+def _mbconv(
+    net: NetBuilder,
+    stage: int,
+    block: int,
+    expansion: int,
+    out_channels: int,
+    stride: int,
+    kernel: int,
+) -> None:
+    prefix = f"s{stage}b{block}"
+    entry = net.head
+    in_channels = net.output_shape(entry).channels
+    if expansion != 1:
+        net.conv(in_channels * expansion, kernel=1, source=entry, name=f"{prefix}_expand")
+    net.dwconv(kernel=kernel, stride=stride, name=f"{prefix}_dw")
+    main = net.conv(out_channels, kernel=1, name=f"{prefix}_project")
+    if stride == 1 and in_channels == out_channels:
+        net.residual_add(main, entry, name=f"{prefix}_add")
+
+
+def efficientnet_lite0(input_size: int = 224, num_classes: int = 1000) -> CNNGraph:
+    """EfficientNet-Lite0: 49 conv layers, ~4.0M weights."""
+    net = NetBuilder("EfficientNetLite0", (input_size, input_size, 3))
+    net.conv(32, kernel=3, stride=2, name="stem_conv")
+    for stage, (expansion, channels, repeats, first_stride, kernel) in enumerate(
+        EFFICIENTNET_LITE0_STAGES, start=1
+    ):
+        for block in range(1, repeats + 1):
+            stride = first_stride if block == 1 else 1
+            _mbconv(net, stage, block, expansion, channels, stride, kernel)
+    net.conv(1280, kernel=1, name="head_conv")
+    net.global_pool(name="avg_pool")
+    net.dense(num_classes, name="classifier")
+    return net.build()

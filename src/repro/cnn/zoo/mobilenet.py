@@ -1,0 +1,60 @@
+"""MobileNetV2 (Sandler et al., CVPR 2018): inverted residual bottlenecks.
+
+Seventeen MBConv blocks in seven groups plus the stem conv and the final
+1x1 expansion, totalling 52 conv layers and ~3.5M weights (Table III).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.cnn.graph import CNNGraph
+from repro.cnn.zoo.common import NetBuilder
+
+#: (expansion factor, output channels, repeats, first stride) per group,
+#: straight from the MobileNetV2 paper's Table 2.
+MOBILENETV2_GROUPS: List[Tuple[int, int, int, int]] = [
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+]
+
+
+def _mbconv(
+    net: NetBuilder,
+    group: int,
+    block: int,
+    expansion: int,
+    out_channels: int,
+    stride: int,
+) -> None:
+    """Inverted residual: expand 1x1 (if expansion > 1), dw 3x3, project 1x1."""
+    prefix = f"g{group}b{block}"
+    entry = net.head
+    in_channels = net.output_shape(entry).channels
+    if expansion != 1:
+        net.conv(in_channels * expansion, kernel=1, source=entry, name=f"{prefix}_expand")
+    net.dwconv(kernel=3, stride=stride, name=f"{prefix}_dw")
+    main = net.conv(out_channels, kernel=1, name=f"{prefix}_project")
+    if stride == 1 and in_channels == out_channels:
+        net.residual_add(main, entry, name=f"{prefix}_add")
+
+
+def mobilenet_v2(input_size: int = 224, num_classes: int = 1000) -> CNNGraph:
+    """MobileNetV2: 52 conv layers, ~3.5M weights."""
+    net = NetBuilder("MobileNetV2", (input_size, input_size, 3))
+    net.conv(32, kernel=3, stride=2, name="stem_conv")
+    for group, (expansion, out_channels, repeats, first_stride) in enumerate(
+        MOBILENETV2_GROUPS, start=1
+    ):
+        for block in range(1, repeats + 1):
+            stride = first_stride if block == 1 else 1
+            _mbconv(net, group, block, expansion, out_channels, stride)
+    net.conv(1280, kernel=1, name="head_conv")
+    net.global_pool(name="avg_pool")
+    net.dense(num_classes, name="classifier")
+    return net.build()

@@ -1,0 +1,79 @@
+"""ResNet-50 and ResNet-152 (He et al., CVPR 2016).
+
+Bottleneck residual networks with stage block counts [3, 4, 6, 3] (ResNet-50)
+and [3, 8, 36, 3] (ResNet-152). Conv layer counts match the paper's
+Table III: 53 and 155 respectively (1 stem conv + 3 convs per bottleneck +
+1 projection conv per stage).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cnn.graph import CNNGraph
+from repro.cnn.zoo.common import NetBuilder
+
+
+def _bottleneck_block(
+    net: NetBuilder,
+    stage: int,
+    block: int,
+    mid_channels: int,
+    out_channels: int,
+    stride: int,
+    project: bool,
+) -> None:
+    """One bottleneck: 1x1 reduce, 3x3, 1x1 expand, plus identity/projection."""
+    prefix = f"s{stage}b{block}"
+    entry = net.head
+    net.conv(mid_channels, kernel=1, stride=stride, source=entry, name=f"{prefix}_c1")
+    net.conv(mid_channels, kernel=3, name=f"{prefix}_c2")
+    main = net.conv(out_channels, kernel=1, name=f"{prefix}_c3")
+    if project:
+        skip = net.conv(
+            out_channels, kernel=1, stride=stride, source=entry, name=f"{prefix}_proj"
+        )
+    else:
+        skip = entry
+    net.residual_add(main, skip, name=f"{prefix}_add")
+
+
+def build_resnet(
+    blocks_per_stage: Sequence[int],
+    name: str,
+    input_size: int = 224,
+    num_classes: int = 1000,
+) -> CNNGraph:
+    """Construct a bottleneck ResNet with the given per-stage block counts."""
+    net = NetBuilder(name, (input_size, input_size, 3))
+    net.conv(64, kernel=7, stride=2, name="stem_conv")
+    net.pool(size=3, stride=2, mode="max", name="stem_pool")
+    mid = 64
+    for stage, num_blocks in enumerate(blocks_per_stage, start=1):
+        out_channels = mid * 4
+        for block in range(1, num_blocks + 1):
+            first = block == 1
+            stride = 2 if (first and stage > 1) else 1
+            _bottleneck_block(
+                net,
+                stage=stage,
+                block=block,
+                mid_channels=mid,
+                out_channels=out_channels,
+                stride=stride,
+                project=first,
+            )
+        mid *= 2
+    net.global_pool(name="avg_pool")
+    net.dense(num_classes, name="classifier")
+    return net.build()
+
+
+def resnet50(input_size: int = 224) -> CNNGraph:
+    """ResNet-50: 53 conv layers, ~25.6M weights."""
+    return build_resnet([3, 4, 6, 3], "ResNet50", input_size=input_size)
+
+
+def resnet152(input_size: int = 224) -> CNNGraph:
+    """ResNet-152: 155 conv layers, ~60.2M weights."""
+    return build_resnet([3, 8, 36, 3], "ResNet152", input_size=input_size)

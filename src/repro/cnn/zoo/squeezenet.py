@@ -1,0 +1,53 @@
+"""SqueezeNet 1.1 (Iandola et al., 2016): fire modules.
+
+A tiny, concat-branching workload: each fire module squeezes with a 1x1
+conv and expands through parallel 1x1 and 3x3 convs whose outputs
+concatenate. Exercises the cost model on branch-heavy, low-weight CNNs —
+the opposite end of the spectrum from ResNet152.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.cnn.graph import CNNGraph
+from repro.cnn.layers import Padding
+from repro.cnn.zoo.common import NetBuilder
+
+#: (squeeze, expand) channel plan of SqueezeNet 1.1's eight fire modules.
+FIRE_PLAN: List[Tuple[int, int]] = [
+    (16, 64),
+    (16, 64),
+    (32, 128),
+    (32, 128),
+    (48, 192),
+    (48, 192),
+    (64, 256),
+    (64, 256),
+]
+
+#: Fire-module indices (1-based) preceded by a max-pool in v1.1.
+POOL_BEFORE = {1, 3, 5}
+
+
+def _fire(net: NetBuilder, index: int, squeeze: int, expand: int) -> None:
+    prefix = f"fire{index}"
+    net.conv(squeeze, kernel=1, name=f"{prefix}_squeeze")
+    squeezed = net.head
+    left = net.conv(expand, kernel=1, source=squeezed, name=f"{prefix}_e1")
+    right = net.conv(expand, kernel=3, source=squeezed, name=f"{prefix}_e3")
+    net.concat([left, right], name=f"{prefix}_concat")
+
+
+def squeezenet(input_size: int = 224, num_classes: int = 1000) -> CNNGraph:
+    """SqueezeNet 1.1: 26 conv layers, ~1.2M weights, no dense layers."""
+    net = NetBuilder("SqueezeNet", (input_size, input_size, 3))
+    net.conv(64, kernel=3, stride=2, padding=Padding.VALID, name="conv1")
+    for index, (squeeze, expand) in enumerate(FIRE_PLAN, start=1):
+        if index in POOL_BEFORE:
+            net.pool(size=3, stride=2, mode="max", name=f"pool{index}")
+        _fire(net, index, squeeze, expand)
+    # Classifier: 1x1 conv to class scores, then global average pooling.
+    net.conv(num_classes, kernel=1, name="conv10")
+    net.global_pool(name="avg_pool")
+    return net.build()

@@ -1,0 +1,69 @@
+"""Xception (Chollet, CVPR 2017): depthwise-separable "extreme Inception".
+
+Entry flow (2 stem convs + 3 residual separable modules), middle flow
+(8 residual modules of 3 separable convs), exit flow (1 residual module +
+2 separable convs). Each separable convolution counts as two conv layers
+(depthwise + pointwise), giving 74 conv layers and ~22.9M weights as in the
+paper's Table III.
+"""
+
+from __future__ import annotations
+
+from repro.cnn.graph import CNNGraph
+from repro.cnn.layers import Padding
+from repro.cnn.zoo.common import NetBuilder
+
+
+def _entry_module(net: NetBuilder, index: int, filters: int) -> None:
+    """Entry-flow module: two separable convs, strided pool, 1x1 skip."""
+    prefix = f"entry{index}"
+    entry = net.head
+    net.separable(filters, name=f"{prefix}_sep1", source=entry)
+    net.separable(filters, name=f"{prefix}_sep2")
+    net.pool(size=3, stride=2, padding=Padding.SAME, mode="max", name=f"{prefix}_pool")
+    main = net.head
+    skip = net.conv(filters, kernel=1, stride=2, source=entry, name=f"{prefix}_skip")
+    net.residual_add(main, skip, name=f"{prefix}_add")
+
+
+def _middle_module(net: NetBuilder, index: int, filters: int) -> None:
+    """Middle-flow module: three separable convs with an identity skip."""
+    prefix = f"middle{index}"
+    entry = net.head
+    net.separable(filters, name=f"{prefix}_sep1", source=entry)
+    net.separable(filters, name=f"{prefix}_sep2")
+    main = net.separable(filters, name=f"{prefix}_sep3")
+    net.residual_add(main, entry, name=f"{prefix}_add")
+
+
+def xception(input_size: int = 224, num_classes: int = 1000) -> CNNGraph:
+    """Xception: 74 conv layers, ~22.9M weights.
+
+    The default input resolution is 224x224 — the FPGA-accelerator
+    evaluation convention shared by the paper's other workloads — rather
+    than the 299x299 of the original classification setup; weight counts
+    (Table III) are unaffected.
+    """
+    net = NetBuilder("Xception", (input_size, input_size, 3))
+    # Entry flow stem.
+    net.conv(32, kernel=3, stride=2, name="stem_conv1")
+    net.conv(64, kernel=3, name="stem_conv2")
+    for index, filters in enumerate((128, 256, 728), start=1):
+        _entry_module(net, index, filters)
+    # Middle flow.
+    for index in range(1, 9):
+        _middle_module(net, index, 728)
+    # Exit flow residual module.
+    entry = net.head
+    net.separable(728, name="exit_sep1", source=entry)
+    net.separable(1024, name="exit_sep2")
+    net.pool(size=3, stride=2, padding=Padding.SAME, mode="max", name="exit_pool")
+    main = net.head
+    skip = net.conv(1024, kernel=1, stride=2, source=entry, name="exit_skip")
+    net.residual_add(main, skip, name="exit_add")
+    # Exit flow tail.
+    net.separable(1536, name="tail_sep1")
+    net.separable(2048, name="tail_sep2")
+    net.global_pool(name="avg_pool")
+    net.dense(num_classes, name="classifier")
+    return net.build()

@@ -1,0 +1,112 @@
+"""State-of-the-art multiple-CE architecture templates (Section II-C, Fig. 2).
+
+Each template turns ``(CNN, ce_count)`` into an
+:class:`~repro.core.notation.ArchitectureSpec`:
+
+* **Segmented** (Shen et al. [33]) — contiguous MACs-balanced segments, one
+  single-CE block each, coarse-grained pipelined across inputs.
+* **SegmentedRR** (Wei et al. [41]) — one pipelined-CEs block over all
+  layers; CEs process layers round-robin at tile granularity.
+* **Hybrid** (Qararyah et al. [30]) — dedicated pipelined CEs for the first
+  layers, one larger engine for the rest, coarse-grained pipelining between
+  the two parts.
+
+The templates are registered by name so sweeps and the DSE can iterate them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.cnn.graph import ConvSpec
+from repro.core.notation import LAST, ArchitectureSpec, BlockSpec
+from repro.core.segmentation import balanced_segments, hybrid_split
+from repro.utils.errors import ResourceError
+
+
+def segmented(specs: Sequence[ConvSpec], ce_count: int) -> ArchitectureSpec:
+    """Segmented: ``ce_count`` MACs-balanced single-CE segments, pipelined."""
+    if ce_count < 2:
+        raise ResourceError("a multiple-CE accelerator needs at least 2 CEs")
+    ranges = balanced_segments(specs, ce_count)
+    blocks = [
+        BlockSpec(start_layer=start, end_layer=end, ce_count=1) for start, end in ranges
+    ]
+    return ArchitectureSpec(
+        name=f"Segmented-{ce_count}", blocks=tuple(blocks), coarse_pipelined=True
+    )
+
+
+def segmented_rr(specs: Sequence[ConvSpec], ce_count: int) -> ArchitectureSpec:
+    """SegmentedRR: one round-robin pipelined-CEs block over every layer."""
+    if ce_count < 2:
+        raise ResourceError("a multiple-CE accelerator needs at least 2 CEs")
+    if ce_count > len(specs):
+        raise ResourceError(
+            f"SegmentedRR with {ce_count} CEs needs at least {ce_count} conv layers"
+        )
+    block = BlockSpec(start_layer=1, end_layer=len(specs), ce_count=ce_count)
+    return ArchitectureSpec(
+        name=f"SegmentedRR-{ce_count}", blocks=(block,), coarse_pipelined=False
+    )
+
+
+def hybrid(specs: Sequence[ConvSpec], ce_count: int) -> ArchitectureSpec:
+    """Hybrid: pipelined CEs on the first layers, a big single-CE after."""
+    if ce_count < 2:
+        raise ResourceError("a multiple-CE accelerator needs at least 2 CEs")
+    pipelined_layers = hybrid_split(specs, ce_count)
+    blocks: List[BlockSpec] = []
+    if pipelined_layers:
+        blocks.append(
+            BlockSpec(start_layer=1, end_layer=pipelined_layers, ce_count=pipelined_layers)
+        )
+    blocks.append(
+        BlockSpec(start_layer=pipelined_layers + 1, end_layer=len(specs), ce_count=1)
+    )
+    return ArchitectureSpec(
+        name=f"Hybrid-{ce_count}", blocks=tuple(blocks), coarse_pipelined=True
+    )
+
+
+def hybrid_dual(specs: Sequence[ConvSpec], ce_count: int) -> ArchitectureSpec:
+    """Hybrid variant whose tail is a dual-engine (depthwise + standard)
+    block — Section II-C's "the second part could have two sub-CEs [30]".
+
+    ``ce_count`` counts the pipelined engines plus the tail as *one* CE
+    (its two sub-engines share the tail's PE budget), keeping CE counts
+    comparable with the plain Hybrid. Falls back to a plain single-CE tail
+    at build time when the CNN has only one convolution type.
+    """
+    base = hybrid(specs, ce_count)
+    return ArchitectureSpec(
+        name=f"HybridDual-{ce_count}",
+        blocks=base.blocks,
+        coarse_pipelined=True,
+        dual_tail=True,
+    )
+
+
+ArchitectureTemplate = Callable[[Sequence[ConvSpec], int], ArchitectureSpec]
+
+#: Template registry, keyed by the paper's architecture names.
+TEMPLATES: Dict[str, ArchitectureTemplate] = {
+    "segmented": segmented,
+    "segmentedrr": segmented_rr,
+    "hybrid": hybrid,
+    "hybriddual": hybrid_dual,
+}
+
+#: Architecture order used in the paper's tables.
+PAPER_ARCHITECTURES: List[str] = ["segmented", "segmentedrr", "hybrid"]
+
+#: The paper's evaluation sweeps 10 CE counts per architecture (Section V-A3).
+PAPER_CE_COUNTS: List[int] = list(range(2, 12))
+
+
+def build_template(name: str, specs: Sequence[ConvSpec], ce_count: int) -> ArchitectureSpec:
+    """Instantiate a registered template by (case-insensitive) name."""
+    key = name.strip().lower()
+    if key not in TEMPLATES:
+        raise KeyError(f"unknown architecture {name!r}; available: {sorted(TEMPLATES)}")
+    return TEMPLATES[key](specs, ce_count)

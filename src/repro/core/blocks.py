@@ -1,0 +1,380 @@
+"""The two multiple-CE building blocks (Section III-B, Section IV-A).
+
+* :class:`SingleCEBlock` — one engine processing a range of layers to
+  completion, one layer at a time (Fig. 4a).
+* :class:`PipelinedCEsBlock` — a chain of engines processing layers
+  concurrently at tile granularity (Fig. 4b); when it owns more layers than
+  engines it processes them CE-count at a time in rounds (the SegmentedRR
+  pattern), and each round is one *segment* for fine-grained reporting.
+
+Both expose the same evaluation interface: ideal and mandatory buffer
+bytes, and ``evaluate(allocated_bytes, ...)`` returning a
+:class:`~repro.core.cost.results.BlockEvaluation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.cnn.graph import ConvSpec
+from repro.core.cost.accesses import (
+    LayerAccess,
+    pipelined_weight_accesses,
+    single_ce_accesses,
+)
+from repro.core.cost.buffers import (
+    per_ce_max_weight_bytes,
+    pipelined_buffer_requirement,
+    pipelined_fm_tile_bytes,
+    pipelined_mandatory_bytes,
+    single_ce_buffer_requirement,
+    single_ce_mandatory_bytes,
+)
+from repro.core.cost.results import AccessBreakdown, BlockEvaluation, SegmentCost
+from repro.core.engine import ComputeEngine
+from repro.core.tiling import build_schedule, select_tile_count
+from repro.hw.datatypes import Precision
+from repro.utils.errors import ResourceError
+
+
+def _sum_accesses(accesses: Sequence[LayerAccess]) -> AccessBreakdown:
+    total = AccessBreakdown()
+    for access in accesses:
+        total = total + access.breakdown()
+    return total
+
+
+@dataclass
+class SingleCEBlock:
+    """A single-CE building block: CE ``engine`` processes ``specs`` in order."""
+
+    name: str
+    engine: ComputeEngine
+    specs: Tuple[ConvSpec, ...]
+    precision: Precision
+    bytes_per_cycle: float
+
+    def __post_init__(self) -> None:
+        if not self.specs:
+            raise ResourceError(f"{self.name}: block has no layers")
+        if self.bytes_per_cycle <= 0:
+            raise ResourceError(f"{self.name}: bandwidth must be positive")
+
+    kind = "single"
+
+    @property
+    def pe_count(self) -> int:
+        return self.engine.pe_count
+
+    @property
+    def access_engine(self) -> ComputeEngine:
+        """Engine whose weight tiles parameterize the Eq. 6 access model."""
+        return self.engine
+
+    def layer_cycles(self, spec: ConvSpec) -> int:
+        """Eq. 1 cycles for one of this block's layers."""
+        return self.engine.layer_cycles(spec)
+
+    @property
+    def macs(self) -> int:
+        return sum(spec.macs for spec in self.specs)
+
+    def ideal_buffer_bytes(self) -> int:
+        """Eq. 4 requirement for guaranteed-minimum accesses."""
+        return single_ce_buffer_requirement(self.specs, self.engine, self.precision)
+
+    def mandatory_buffer_bytes(self) -> int:
+        """Smallest allocation the block can stream through."""
+        return single_ce_mandatory_bytes(self.specs, self.engine, self.precision)
+
+    def buffer_components(self) -> List[int]:
+        """The physical buffers making up the Eq. 4 requirement, in bytes.
+
+        One FM buffer (reused across layers) and one weights-tile buffer.
+        Consumers that model implementation effects (e.g. the synthesis
+        substitute's BRAM-block quantization) operate per component.
+        """
+        act = self.precision.activation_bytes
+        wbytes = self.precision.weight_bytes
+        max_fms = max(spec.fms_elements for spec in self.specs) * act
+        max_tile = max(
+            self.engine.weights_tile_elements(spec) for spec in self.specs
+        ) * wbytes
+        return [max_fms, max_tile]
+
+    def evaluate(
+        self,
+        allocated_bytes: int,
+        input_extra_bytes: int = 0,
+        output_extra_bytes: int = 0,
+        segment_index: int = 0,
+    ) -> BlockEvaluation:
+        """Cost the block with ``allocated_bytes`` of on-chip buffer.
+
+        Latency sums per-layer wall times, each the max of Eq. 1 compute
+        cycles and the layer's off-chip traffic over the bandwidth (memory
+        time is modelled, not assumed hidden — Section IV-A1). A single-CE
+        block processes one input at a time end to end, so its throughput
+        interval equals its latency.
+
+        ``input_extra_bytes`` / ``output_extra_bytes`` are boundary FM
+        transfers charged by the composition layer (Eq. 9): the CNN input
+        load, the CNN output store, and spilled inter-segment buffers. They
+        are attributed to the first/last layer's memory time here so the
+        fine-grained breakdown (Fig. 6) sees them.
+        """
+        accesses = single_ce_accesses(
+            self.specs,
+            self.engine,
+            allocated_bytes,
+            self.precision,
+            input_onchip=True,
+            output_onchip=True,
+        )
+        compute_cycles = 0
+        wall_cycles = 0.0
+        last = len(self.specs) - 1
+        for position, (spec, access) in enumerate(zip(self.specs, accesses)):
+            layer_compute = self.engine.layer_cycles(spec)
+            layer_bytes = access.total_bytes
+            if position == 0:
+                layer_bytes += input_extra_bytes
+            if position == last:
+                layer_bytes += output_extra_bytes
+            layer_memory = layer_bytes / self.bytes_per_cycle
+            compute_cycles += layer_compute
+            wall_cycles += max(float(layer_compute), layer_memory)
+        breakdown = _sum_accesses(accesses) + AccessBreakdown(
+            fm_bytes=input_extra_bytes + output_extra_bytes
+        )
+        memory_cycles = breakdown.total_bytes / self.bytes_per_cycle
+        segment = SegmentCost(
+            index=segment_index,
+            label=self.name,
+            layer_indices=tuple(spec.index for spec in self.specs),
+            compute_cycles=compute_cycles,
+            memory_cycles=memory_cycles,
+            accesses=breakdown,
+            pe_count=self.pe_count,
+            macs=self.macs,
+            buffer_requirement_bytes=self.ideal_buffer_bytes(),
+        )
+        return BlockEvaluation(
+            name=self.name,
+            kind=self.kind,
+            segments=(segment,),
+            latency_cycles=wall_cycles,
+            throughput_interval_cycles=wall_cycles,
+            accesses=breakdown,
+            buffer_requirement_bytes=self.ideal_buffer_bytes(),
+            buffer_allocated_bytes=allocated_bytes,
+            pe_count=self.pe_count,
+        )
+
+
+@dataclass
+class PipelinedCEsBlock:
+    """A pipelined-CEs building block: ``engines[j]`` owns every
+    ``(round, position j)`` layer; rounds execute back to back."""
+
+    name: str
+    engines: Tuple[ComputeEngine, ...]
+    specs: Tuple[ConvSpec, ...]
+    precision: Precision
+    bytes_per_cycle: float
+
+    def __post_init__(self) -> None:
+        if not self.specs:
+            raise ResourceError(f"{self.name}: block has no layers")
+        if not self.engines:
+            raise ResourceError(f"{self.name}: block has no engines")
+        if self.bytes_per_cycle <= 0:
+            raise ResourceError(f"{self.name}: bandwidth must be positive")
+
+    kind = "pipelined"
+
+    @property
+    def ce_count(self) -> int:
+        return len(self.engines)
+
+    @property
+    def pe_count(self) -> int:
+        return sum(engine.pe_count for engine in self.engines)
+
+    @property
+    def macs(self) -> int:
+        return sum(spec.macs for spec in self.specs)
+
+    def rounds(self) -> List[Tuple[ConvSpec, ...]]:
+        """Layer groups processed CE-count at a time (Section III-B)."""
+        ce_count = self.ce_count
+        return [
+            tuple(self.specs[start : start + ce_count])
+            for start in range(0, len(self.specs), ce_count)
+        ]
+
+    def tile_counts(self) -> List[int]:
+        return [select_tile_count(round_specs) for round_specs in self.rounds()]
+
+    def ideal_buffer_bytes(self) -> int:
+        """Eq. 5 requirement (worst case across rounds for multi-round)."""
+        return pipelined_buffer_requirement(
+            self.rounds(), self.tile_counts(), self.ce_count, self.precision
+        )
+
+    def mandatory_buffer_bytes(self) -> int:
+        """FM double-buffers plus one streaming weights tile per CE."""
+        return pipelined_mandatory_bytes(
+            self.rounds(), self.tile_counts(), self.ce_count, self.precision
+        )
+
+    def buffer_components(self) -> List[int]:
+        """The physical buffers making up the Eq. 5 requirement, in bytes.
+
+        Per CE position: a weight buffer (doubled for multi-round prefetch)
+        and two FM tile buffers (double buffering).
+        """
+        rounds = self.rounds()
+        tile_counts = self.tile_counts()
+        components: List[int] = []
+        if len(rounds) == 1:
+            tile_count = tile_counts[0]
+            for spec in rounds[0]:
+                components.append(spec.weight_count * self.precision.weight_bytes)
+                fm_tile = pipelined_fm_tile_bytes(spec, tile_count, self.precision)
+                components.extend([fm_tile, fm_tile])
+            return components
+        weight_demands = per_ce_max_weight_bytes(rounds, self.ce_count, self.precision)
+        for position in range(self.ce_count):
+            fm_tile = max(
+                pipelined_fm_tile_bytes(round_specs[position], tile_counts[r], self.precision)
+                for r, round_specs in enumerate(rounds)
+                if position < len(round_specs)
+            )
+            components.extend([weight_demands[position], weight_demands[position]])
+            components.extend([fm_tile, fm_tile])
+        return components
+
+    def _weight_buffer_split(self, weight_budget: int) -> List[int]:
+        """Split the block's weight-buffer budget across CE positions.
+
+        Proportional to each CE's worst-round weight footprint, capped at
+        that footprint (surplus flows to still-hungry CEs).
+        """
+        demands = per_ce_max_weight_bytes(self.rounds(), self.ce_count, self.precision)
+        remaining = max(0, weight_budget)
+        allocation = [0] * self.ce_count
+        unsatisfied = list(range(self.ce_count))
+        while remaining > 0 and unsatisfied:
+            total_demand = sum(demands[j] - allocation[j] for j in unsatisfied)
+            if total_demand <= 0:
+                break
+            if total_demand <= remaining:
+                for j in unsatisfied:
+                    allocation[j] = demands[j]
+                remaining -= total_demand
+                break
+            progressed = False
+            for j in list(unsatisfied):
+                share = remaining * (demands[j] - allocation[j]) // total_demand
+                grant = min(share, demands[j] - allocation[j])
+                if grant > 0:
+                    allocation[j] += grant
+                    progressed = True
+            remaining = max(0, weight_budget - sum(allocation))
+            unsatisfied = [j for j in unsatisfied if allocation[j] < demands[j]]
+            if not progressed:
+                # Sub-integer shares left; hand the remainder to the neediest.
+                if unsatisfied:
+                    j = max(unsatisfied, key=lambda j: demands[j] - allocation[j])
+                    grant = min(remaining, demands[j] - allocation[j])
+                    allocation[j] += grant
+                break
+        return allocation
+
+    def evaluate(
+        self,
+        allocated_bytes: int,
+        input_extra_bytes: int = 0,
+        output_extra_bytes: int = 0,
+        segment_index: int = 0,
+    ) -> BlockEvaluation:
+        """Cost the block with ``allocated_bytes`` of on-chip buffer.
+
+        Each round is one segment. Round latency follows Eq. 2 (sum of
+        stage maxima), overlapped with the round's weight traffic; the
+        block's throughput interval drops the fill/drain bubbles (Eq. 3:
+        the slowest CE's busy time bounds steady-state throughput).
+        Boundary FM transfers (``input_extra_bytes`` to the first round,
+        ``output_extra_bytes`` to the last) are charged per Eq. 9.
+        """
+        rounds = self.rounds()
+        tile_counts = self.tile_counts()
+        fm_reserved = 2 * sum(
+            max(
+                pipelined_fm_tile_bytes(round_specs[pos], tile_counts[r], self.precision)
+                for r, round_specs in enumerate(rounds)
+                if pos < len(round_specs)
+            )
+            for pos in range(self.ce_count)
+        )
+        weight_budget = max(0, allocated_bytes - fm_reserved)
+        weight_buffers = self._weight_buffer_split(weight_budget)
+
+        segments: List[SegmentCost] = []
+        latency = 0.0
+        interval = 0.0
+        total_access = AccessBreakdown()
+        for round_index, (round_specs, tile_count) in enumerate(zip(rounds, tile_counts)):
+            cycles = [
+                self.engines[pos].layer_cycles(spec) for pos, spec in enumerate(round_specs)
+            ]
+            schedule = build_schedule(round_specs, cycles, tile_count)
+            accesses = pipelined_weight_accesses(
+                round_specs, tile_count, weight_buffers, self.precision
+            )
+            breakdown = _sum_accesses(accesses)
+            boundary_bytes = 0
+            if round_index == 0:
+                boundary_bytes += input_extra_bytes
+            if round_index == len(rounds) - 1:
+                boundary_bytes += output_extra_bytes
+            breakdown = breakdown + AccessBreakdown(fm_bytes=boundary_bytes)
+            memory_cycles = breakdown.total_bytes / self.bytes_per_cycle
+            compute_latency = schedule.latency_cycles()
+            round_time = max(float(compute_latency), memory_cycles)
+            busy = schedule.bottleneck_cycles()
+            round_interval = max(float(busy), memory_cycles)
+            latency += round_time
+            interval += round_interval
+            total_access = total_access + breakdown
+            round_pes = sum(
+                self.engines[pos].pe_count for pos in range(len(round_specs))
+            )
+            segments.append(
+                SegmentCost(
+                    index=segment_index + round_index,
+                    label=f"{self.name}.r{round_index + 1}",
+                    layer_indices=tuple(spec.index for spec in round_specs),
+                    compute_cycles=compute_latency,
+                    memory_cycles=memory_cycles,
+                    accesses=breakdown,
+                    pe_count=round_pes,
+                    macs=sum(spec.macs for spec in round_specs),
+                    buffer_requirement_bytes=pipelined_buffer_requirement(
+                        [round_specs], [tile_count], self.ce_count, self.precision
+                    ),
+                )
+            )
+        return BlockEvaluation(
+            name=self.name,
+            kind=self.kind,
+            segments=tuple(segments),
+            latency_cycles=latency,
+            throughput_interval_cycles=interval,
+            accesses=total_access,
+            buffer_requirement_bytes=self.ideal_buffer_bytes(),
+            buffer_allocated_bytes=allocated_bytes,
+            pe_count=self.pe_count,
+        )

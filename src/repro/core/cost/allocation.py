@@ -1,0 +1,112 @@
+"""On-chip memory allocation across blocks and interfaces.
+
+When the Eq. 4/5/8 ideal buffers exceed the board's BRAM, the builder must
+decide which buffers shrink ("Multiple-CE Builder heuristics identify the
+buffer sizes that minimize accesses", Section IV-A3). The policy here is
+deterministic and documented:
+
+1. Every block gets its *mandatory* minimum (it cannot stream otherwise).
+2. Inter-segment buffers are kept on-chip smallest-first while they fit
+   (a spilled interface costs ``2 x interSegBufferSz`` off-chip accesses,
+   Eq. 9, so small interfaces are the cheapest to save).
+3. The remaining capacity is water-filled across blocks proportionally to
+   their unmet ideal demand, capped at the ideal (extra BRAM beyond the
+   ideal buys nothing — accesses are already minimal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class AllocationPlan:
+    """Result of dividing BRAM among blocks and inter-segment buffers."""
+
+    block_bytes: Tuple[int, ...]
+    inter_segment_onchip: Tuple[bool, ...]
+    fits_onchip: bool
+
+    @property
+    def total_block_bytes(self) -> int:
+        return sum(self.block_bytes)
+
+
+def _water_fill(capacity: int, floors: Sequence[int], ceilings: Sequence[int]) -> List[int]:
+    """Distribute ``capacity`` with per-share floors and ceilings.
+
+    Shares start at their floors; leftover capacity is split proportionally
+    to unmet demand (``ceiling - current``) until either demand or capacity
+    is exhausted.
+    """
+    allocation = list(floors)
+    remaining = capacity - sum(allocation)
+    for _ in range(64):
+        if remaining <= 0:
+            break
+        demands = [max(0, ceiling - current) for ceiling, current in zip(ceilings, allocation)]
+        total_demand = sum(demands)
+        if total_demand == 0:
+            break
+        if total_demand <= remaining:
+            allocation = [current + demand for current, demand in zip(allocation, demands)]
+            remaining = capacity - sum(allocation)
+            break
+        granted_any = False
+        for index, demand in enumerate(demands):
+            grant = min(demand, remaining * demand // total_demand)
+            if grant > 0:
+                allocation[index] += grant
+                granted_any = True
+        remaining = capacity - sum(allocation)
+        if not granted_any:
+            # Hand sub-proportional leftovers to the largest unmet demand.
+            hungry = max(range(len(demands)), key=lambda i: demands[i])
+            grant = min(demands[hungry], remaining)
+            allocation[hungry] += grant
+            break
+    return allocation
+
+
+def allocate_onchip(
+    capacity_bytes: int,
+    mandatory_bytes: Sequence[int],
+    ideal_bytes: Sequence[int],
+    inter_segment_bytes: Sequence[int],
+    inter_segment_copies: int,
+) -> AllocationPlan:
+    """Divide ``capacity_bytes`` of BRAM per the module policy.
+
+    ``inter_segment_copies`` is 2 under coarse-grained pipelining (double
+    buffering at input granularity, Eq. 8) and 1 otherwise.
+    """
+    if capacity_bytes <= 0:
+        raise ValueError("capacity must be positive")
+    if len(mandatory_bytes) != len(ideal_bytes):
+        raise ValueError("mandatory and ideal lists must align")
+
+    ideal_total = sum(ideal_bytes) + inter_segment_copies * sum(inter_segment_bytes)
+    fits = ideal_total <= capacity_bytes
+
+    floors = [min(mandatory, ideal) for mandatory, ideal in zip(mandatory_bytes, ideal_bytes)]
+    remaining = capacity_bytes - sum(floors)
+
+    # Step 2: keep inter-segment buffers on-chip smallest-first while space
+    # remains after the mandatory floors.
+    onchip = [False] * len(inter_segment_bytes)
+    for index in sorted(range(len(inter_segment_bytes)), key=lambda i: inter_segment_bytes[i]):
+        cost = inter_segment_copies * inter_segment_bytes[index]
+        if cost <= remaining:
+            onchip[index] = True
+            remaining -= cost
+
+    # Step 3: water-fill the blocks up to their ideals.
+    block_capacity = sum(floors) + max(0, remaining)
+    blocks = _water_fill(block_capacity, floors, list(ideal_bytes))
+
+    return AllocationPlan(
+        block_bytes=tuple(blocks),
+        inter_segment_onchip=tuple(onchip),
+        fits_onchip=fits,
+    )

@@ -1,0 +1,150 @@
+"""On-chip buffer requirement models (Eqs. 4, 5, and 8).
+
+These compute the buffer sizes that *guarantee minimum off-chip accesses*
+(one access per weight, none per FM element beyond the network edges),
+assuming unlimited on-chip memory — the paper's Section IV-A2 definition.
+Whether the budget actually accommodates them is the allocator's problem
+(:mod:`repro.core.cost.allocation`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.cnn.graph import ConvSpec
+from repro.core.dataflow import ifm_row_elements, ofm_row_elements
+from repro.core.engine import ComputeEngine
+from repro.core.tiling import tile_ofm_elements
+from repro.hw.datatypes import Precision
+
+
+def single_ce_buffer_requirement(
+    specs: Sequence[ConvSpec], engine: ComputeEngine, precision: Precision
+) -> int:
+    """Eq. 4: largest layer FMs plus the largest weights tile, in bytes.
+
+    Buffers are reused across layers because a single-CE processes them one
+    at a time; the FM term uses :attr:`ConvSpec.fms_elements`, which already
+    multiplies OFM copies for residual connections.
+    """
+    if not specs:
+        return 0
+    max_fms = max(spec.fms_elements for spec in specs) * precision.activation_bytes
+    max_tile = max(engine.weights_tile_elements(spec) for spec in specs) * precision.weight_bytes
+    return max_fms + max_tile
+
+
+def single_ce_mandatory_bytes(
+    specs: Sequence[ConvSpec], engine: ComputeEngine, precision: Precision
+) -> int:
+    """Smallest buffer a single-CE block can stream through.
+
+    One IFM row band, one OFM row, and one weights tile for the worst layer.
+    Below this the engine cannot make forward progress, so the allocator
+    never hands out less.
+    """
+    if not specs:
+        return 0
+    act = precision.activation_bytes
+    w = precision.weight_bytes
+    worst = 0
+    for spec in specs:
+        needed = (
+            ifm_row_elements(spec) * act
+            + ofm_row_elements(spec) * act
+            + engine.weights_tile_elements(spec) * w
+        )
+        worst = max(worst, needed)
+    return worst
+
+
+def pipelined_fm_tile_bytes(spec: ConvSpec, tile_count: int, precision: Precision) -> int:
+    """FMsBufferSz of Eq. 5: one OFM tile of ``spec`` (largest tile)."""
+    return tile_ofm_elements(spec, tile_count, 0) * precision.activation_bytes
+
+
+def pipelined_buffer_requirement(
+    rounds: Sequence[Sequence[ConvSpec]],
+    tile_counts: Sequence[int],
+    ce_count: int,
+    precision: Precision,
+) -> int:
+    """Eq. 5, generalized to multi-round (SegmentedRR) blocks.
+
+    Single pass (one round): ``sum_i (weightsSz_i + 2 * FMsBufferSz_i)`` —
+    every pipelined layer's weights stay resident after first load and every
+    CE-to-CE interface is double-buffered.
+
+    Multiple rounds (Section IV-B2): the same physical buffers serve every
+    round, so each CE's weight buffer and FM double-buffer must fit the
+    *largest* tiles across the rounds it processes (worst case). Weight
+    buffers are themselves doubled: round-robin blocks prefetch the next
+    round's weights while computing the current one (the tile-grained
+    pipeline of Wei et al. [41] stalls otherwise), which is why the
+    SegmentedRR pattern has the largest buffer footprint in Table I.
+    """
+    if not rounds:
+        return 0
+    if len(rounds) == 1:
+        total = 0
+        tile_count = tile_counts[0]
+        for spec in rounds[0]:
+            total += spec.weight_count * precision.weight_bytes
+            total += 2 * pipelined_fm_tile_bytes(spec, tile_count, precision)
+        return total
+    per_ce_weights = [0] * ce_count
+    per_ce_fm = [0] * ce_count
+    for round_specs, tile_count in zip(rounds, tile_counts):
+        for position, spec in enumerate(round_specs):
+            per_ce_weights[position] = max(
+                per_ce_weights[position], spec.weight_count * precision.weight_bytes
+            )
+            per_ce_fm[position] = max(
+                per_ce_fm[position], pipelined_fm_tile_bytes(spec, tile_count, precision)
+            )
+    return 2 * sum(per_ce_weights) + 2 * sum(per_ce_fm)
+
+
+def pipelined_mandatory_bytes(
+    rounds: Sequence[Sequence[ConvSpec]],
+    tile_counts: Sequence[int],
+    ce_count: int,
+    precision: Precision,
+) -> int:
+    """Smallest workable pipelined-block buffer: FM double-buffers plus one
+    weights tile per CE.
+
+    The FM double-buffers are not optional — tile-grained pipelining cannot
+    run without them ("the buffer sizes are tailored to the available
+    on-chip memory", Section IV-A3) — while weights can stream.
+    """
+    if not rounds:
+        return 0
+    per_ce_fm = [0] * ce_count
+    per_ce_tile = [0] * ce_count
+    for round_specs, tile_count in zip(rounds, tile_counts):
+        for position, spec in enumerate(round_specs):
+            per_ce_fm[position] = max(
+                per_ce_fm[position], pipelined_fm_tile_bytes(spec, tile_count, precision)
+            )
+            tile_w = (
+                spec.channels
+                * spec.kernel_height
+                * spec.kernel_width
+                * precision.weight_bytes
+            )
+            per_ce_tile[position] = max(per_ce_tile[position], min(
+                tile_w, spec.weight_count * precision.weight_bytes
+            ))
+    return 2 * sum(per_ce_fm) + sum(per_ce_tile)
+
+
+def per_ce_max_weight_bytes(
+    rounds: Sequence[Sequence[ConvSpec]], ce_count: int, precision: Precision
+) -> List[int]:
+    """Largest per-round weight footprint of each CE position, in bytes."""
+    per_ce = [0] * ce_count
+    for round_specs in rounds:
+        for position, spec in enumerate(round_specs):
+            per_ce[position] = max(per_ce[position], spec.weight_count * precision.weight_bytes)
+    return per_ce

@@ -1,0 +1,132 @@
+"""Export cost reports to JSON/CSV for downstream tooling.
+
+A real DSE workflow dumps thousands of evaluations for plotting and
+post-processing; these helpers give the reports a stable, documented
+serialized form.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, List, Sequence
+
+from repro.core.cost.results import CostReport
+
+#: Columns of the CSV export, in order.
+CSV_COLUMNS = [
+    "accelerator",
+    "model",
+    "board",
+    "notation",
+    "latency_ms",
+    "throughput_fps",
+    "buffer_mib",
+    "access_mib",
+    "weight_access_mib",
+    "fm_access_mib",
+    "pe_utilization",
+    "fits_onchip",
+    "total_pes",
+]
+
+
+def report_to_dict(report: CostReport) -> Dict[str, Any]:
+    """Full JSON-compatible dump of one report, segments included."""
+    return {
+        "accelerator": report.accelerator_name,
+        "model": report.model_name,
+        "board": report.board_name,
+        "notation": report.notation,
+        "clock_hz": report.clock_hz,
+        "latency_cycles": report.latency_cycles,
+        "latency_ms": report.latency_ms,
+        "throughput_interval_cycles": report.throughput_interval_cycles,
+        "throughput_fps": report.throughput_fps,
+        "buffer_requirement_bytes": report.buffer_requirement_bytes,
+        "buffer_allocated_bytes": report.buffer_allocated_bytes,
+        "access_bytes": {
+            "weights": report.accesses.weight_bytes,
+            "fms": report.accesses.fm_bytes,
+            "total": report.accesses.total_bytes,
+        },
+        "total_pes": report.total_pes,
+        "pe_utilization": report.pe_utilization,
+        "fits_onchip": report.fits_onchip,
+        "blocks": [
+            {
+                "name": block.name,
+                "kind": block.kind,
+                "pe_count": block.pe_count,
+                "latency_cycles": block.latency_cycles,
+                "throughput_interval_cycles": block.throughput_interval_cycles,
+                "buffer_requirement_bytes": block.buffer_requirement_bytes,
+                "buffer_allocated_bytes": block.buffer_allocated_bytes,
+            }
+            for block in report.blocks
+        ],
+        "segments": [
+            {
+                "index": segment.index,
+                "label": segment.label,
+                "layers": list(segment.layer_indices),
+                "compute_cycles": segment.compute_cycles,
+                "memory_cycles": segment.memory_cycles,
+                "weight_access_bytes": segment.accesses.weight_bytes,
+                "fm_access_bytes": segment.accesses.fm_bytes,
+                "pe_count": segment.pe_count,
+                "macs": segment.macs,
+                "utilization": segment.utilization,
+            }
+            for segment in report.segments
+        ],
+    }
+
+
+def report_to_json(report: CostReport, indent: int = 2) -> str:
+    """One report as a JSON document."""
+    return json.dumps(report_to_dict(report), indent=indent)
+
+
+def _csv_row(report: CostReport) -> List[Any]:
+    mib = 1024 * 1024
+    return [
+        report.accelerator_name,
+        report.model_name,
+        report.board_name,
+        report.notation,
+        round(report.latency_ms, 4),
+        round(report.throughput_fps, 2),
+        round(report.buffer_requirement_bytes / mib, 4),
+        round(report.accesses.total_bytes / mib, 4),
+        round(report.accesses.weight_bytes / mib, 4),
+        round(report.accesses.fm_bytes / mib, 4),
+        round(report.pe_utilization, 4),
+        report.fits_onchip,
+        report.total_pes,
+    ]
+
+
+def reports_to_csv(reports: Sequence[CostReport]) -> str:
+    """Many reports as a CSV table (header + one row each)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(CSV_COLUMNS)
+    for report in reports:
+        writer.writerow(_csv_row(report))
+    return buffer.getvalue()
+
+
+def batch_latency_seconds(report: CostReport, batch: int) -> float:
+    """Per-image latency for a batch of ``batch`` inputs.
+
+    The paper's second latency definition (Section IV-A1): total time for
+    a batch divided by the batch size. Under coarse-grained pipelining the
+    first image pays the full pipeline latency and each subsequent image
+    one initiation interval.
+    """
+    if batch < 1:
+        raise ValueError(f"batch must be >= 1, got {batch}")
+    total_cycles = report.latency_cycles + (batch - 1) * report.throughput_interval_cycles
+    return total_cycles / (batch * report.clock_hz)

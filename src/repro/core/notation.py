@@ -1,0 +1,255 @@
+"""The multiple-CE architecture notation (Section III-B).
+
+Grammar (whitespace-insensitive, case-insensitive)::
+
+    architecture := "{" assignment ("," assignment)* "}"
+    assignment   := layer-range ":" ce-range
+    layer-range  := "L" N | "L" N "-" ("L" M | "Last")
+    ce-range     := "CE" N | "CE" N "-" "CE" M
+
+* ``{Lx-Ly: CEz}`` — layers x..y processed sequentially by single-CE block z.
+* ``{Lx-Ly: CEz-CEw}`` — layers x..y on a pipelined-CEs block of
+  ``(w - z) + 1`` engines; when the layer count exceeds the CE count the
+  block processes CE-count layers at a time (round-robin).
+
+Examples from the paper: the Segmented accelerator of Fig. 2 is
+``{L1-L4: CE1, L5-L6: CE2, L7-L9: CE3, L10-L12: CE4}`` and SegmentedRR is
+``{L1-Last: CE1-CE4}``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.utils.errors import NotationError
+
+LAST = -1  # sentinel for the "Last" keyword before layer-count resolution
+
+_ASSIGNMENT = re.compile(
+    r"^L(?P<start>\d+)(?:\s*-\s*(?:L(?P<end>\d+)|(?P<last>last)))?"
+    r"\s*:\s*"
+    r"CE(?P<ce_start>\d+)(?:\s*-\s*CE(?P<ce_end>\d+))?$",
+    re.IGNORECASE,
+)
+
+
+@dataclass(frozen=True)
+class BlockSpec:
+    """One building block: a contiguous 1-based inclusive layer range.
+
+    ``ce_count == 1`` denotes a single-CE block; ``ce_count > 1`` a
+    pipelined-CEs block. ``end_layer`` may be the :data:`LAST` sentinel
+    until :meth:`ArchitectureSpec.resolved` pins it to the layer count.
+    """
+
+    start_layer: int
+    end_layer: int
+    ce_count: int
+    #: Explicit CE identity. Two single-CE blocks with the same ``ce_id``
+    #: share one physical engine (a CE processing multiple segments,
+    #: Section IV-B2 / Eq. 8). ``None`` means a fresh engine.
+    ce_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.ce_id is not None and self.ce_count != 1:
+            raise NotationError("only single-CE blocks may share a ce_id")
+        if self.start_layer < 1:
+            raise NotationError(f"layer indices are 1-based, got L{self.start_layer}")
+        if self.end_layer != LAST and self.end_layer < self.start_layer:
+            raise NotationError(
+                f"empty layer range L{self.start_layer}-L{self.end_layer}"
+            )
+        if self.ce_count < 1:
+            raise NotationError(f"ce_count must be >= 1, got {self.ce_count}")
+
+    @property
+    def is_pipelined(self) -> bool:
+        return self.ce_count > 1
+
+    @property
+    def num_layers(self) -> int:
+        if self.end_layer == LAST:
+            raise NotationError("unresolved 'Last' — call ArchitectureSpec.resolved first")
+        return self.end_layer - self.start_layer + 1
+
+    def layer_slice(self) -> slice:
+        """0-based python slice over the conv-spec list."""
+        return slice(self.start_layer - 1, self.num_layers + self.start_layer - 1)
+
+
+@dataclass(frozen=True)
+class ArchitectureSpec:
+    """An ordered sequence of blocks covering a CNN's conv layers.
+
+    ``coarse_pipelined`` controls inter-segment pipelining between blocks
+    (Section IV-B): the Segmented and Hybrid patterns pipeline their blocks
+    across inputs; a non-pipelined composition processes blocks strictly in
+    sequence for one input at a time.
+    """
+
+    name: str
+    blocks: Tuple[BlockSpec, ...]
+    coarse_pipelined: bool = True
+    #: Replace the final single-CE block with a dual-engine (depthwise +
+    #: standard) block when the CNN mixes conv types (Section II-C's
+    #: "two sub-CEs" Hybrid variant). Ignored when inapplicable.
+    dual_tail: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.blocks:
+            raise NotationError(f"{self.name}: architecture must have at least one block")
+
+    @property
+    def total_ces(self) -> int:
+        """Distinct CEs: shared single-CE ids count once (Eq. 8 case)."""
+        total = 0
+        seen_ids = set()
+        for block in self.blocks:
+            if block.ce_id is not None:
+                if block.ce_id not in seen_ids:
+                    seen_ids.add(block.ce_id)
+                    total += 1
+            else:
+                total += block.ce_count
+        return total
+
+    def resolved(self, num_layers: int) -> "ArchitectureSpec":
+        """Pin 'Last' to ``num_layers`` and validate full, ordered coverage."""
+        if num_layers < 1:
+            raise NotationError("CNN must have at least one conv layer")
+        resolved_blocks: List[BlockSpec] = []
+        expected_start = 1
+        for position, block in enumerate(self.blocks):
+            end = num_layers if block.end_layer == LAST else block.end_layer
+            if block.start_layer != expected_start:
+                raise NotationError(
+                    f"{self.name}: block {position + 1} starts at L{block.start_layer}, "
+                    f"expected L{expected_start} (ranges must tile the CNN in order)"
+                )
+            if end > num_layers:
+                raise NotationError(
+                    f"{self.name}: block {position + 1} ends at L{end} but the CNN has "
+                    f"{num_layers} conv layers"
+                )
+            resolved_blocks.append(
+                BlockSpec(
+                    start_layer=block.start_layer,
+                    end_layer=end,
+                    ce_count=block.ce_count,
+                    ce_id=block.ce_id,
+                )
+            )
+            expected_start = end + 1
+        if expected_start != num_layers + 1:
+            raise NotationError(
+                f"{self.name}: blocks cover up to L{expected_start - 1} but the CNN has "
+                f"{num_layers} conv layers"
+            )
+        return ArchitectureSpec(
+            name=self.name,
+            blocks=tuple(resolved_blocks),
+            coarse_pipelined=self.coarse_pipelined,
+            dual_tail=self.dual_tail,
+        )
+
+    def to_notation(self) -> str:
+        """Render back to the paper's notation string."""
+        parts = []
+        next_ce = 1
+        seen_ids = set()
+        for block in self.blocks:
+            end = "Last" if block.end_layer == LAST else f"L{block.end_layer}"
+            layers = (
+                f"L{block.start_layer}"
+                if block.end_layer == block.start_layer
+                else f"L{block.start_layer}-{end}"
+            )
+            if block.ce_count == 1:
+                if block.ce_id is not None:
+                    ces = f"CE{block.ce_id}"
+                    if block.ce_id not in seen_ids:
+                        seen_ids.add(block.ce_id)
+                        next_ce = max(next_ce, block.ce_id + 1)
+                else:
+                    ces = f"CE{next_ce}"
+                    next_ce += 1
+            else:
+                ces = f"CE{next_ce}-CE{next_ce + block.ce_count - 1}"
+                next_ce += block.ce_count
+            parts.append(f"{layers}: {ces}")
+        return "{" + ", ".join(parts) + "}"
+
+
+def parse_notation(text: str, name: Optional[str] = None, coarse_pipelined: bool = True) -> ArchitectureSpec:
+    """Parse a Section III-B notation string into an :class:`ArchitectureSpec`.
+
+    CE identifiers must be consecutive and ascending across the whole string
+    (``CE1``, then ``CE2``, ...), which makes every expression canonical.
+    """
+    stripped = text.strip()
+    if not (stripped.startswith("{") and stripped.endswith("}")):
+        raise NotationError(f"notation must be wrapped in braces: {text!r}")
+    body = stripped[1:-1].strip()
+    if not body:
+        raise NotationError("notation contains no assignments")
+
+    blocks: List[BlockSpec] = []
+    next_ce = 1
+    single_ce_ids = set()
+    for raw in body.split(","):
+        assignment = raw.strip()
+        if not assignment:
+            raise NotationError(f"empty assignment in {text!r}")
+        match = _ASSIGNMENT.match(assignment)
+        if not match:
+            raise NotationError(f"cannot parse assignment {assignment!r}")
+        start = int(match.group("start"))
+        if match.group("last"):
+            end = LAST
+        elif match.group("end"):
+            end = int(match.group("end"))
+        else:
+            end = start
+        ce_start = int(match.group("ce_start"))
+        ce_end = int(match.group("ce_end")) if match.group("ce_end") else ce_start
+        if ce_end < ce_start:
+            raise NotationError(f"CE range reversed in {assignment!r}")
+        is_reuse = ce_start == ce_end and ce_start in single_ce_ids
+        if is_reuse:
+            # A CE processing another segment (Eq. 8): same id reappears.
+            blocks.append(
+                BlockSpec(start_layer=start, end_layer=end, ce_count=1, ce_id=ce_start)
+            )
+            continue
+        if ce_start != next_ce:
+            raise NotationError(
+                f"CE identifiers must be consecutive (or reuse an earlier "
+                f"single-CE id): expected CE{next_ce}, got CE{ce_start} in {assignment!r}"
+            )
+        next_ce = ce_end + 1
+        if ce_start == ce_end:
+            single_ce_ids.add(ce_start)
+            blocks.append(
+                BlockSpec(start_layer=start, end_layer=end, ce_count=1, ce_id=ce_start)
+            )
+        else:
+            blocks.append(
+                BlockSpec(start_layer=start, end_layer=end, ce_count=ce_end - ce_start + 1)
+            )
+
+    for earlier, later in zip(blocks, blocks[1:]):
+        if earlier.end_layer == LAST:
+            raise NotationError("only the final block may use 'Last'")
+        if later.start_layer != earlier.end_layer + 1:
+            raise NotationError(
+                f"layer ranges must tile the CNN: L{earlier.end_layer} is followed "
+                f"by L{later.start_layer}"
+            )
+
+    return ArchitectureSpec(
+        name=name or stripped,
+        blocks=tuple(blocks),
+        coarse_pipelined=coarse_pipelined,
+    )

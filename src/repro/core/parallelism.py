@@ -1,0 +1,207 @@
+"""CE parallelism strategies (Section II-B, Fig. 1).
+
+A convolution is a nest of six loops; a parallelism strategy assigns an
+unrolling degree to a subset of them, with the product of degrees bounded by
+the CE's PE count (Eq. 1 constraint). Following the exhaustive FPGA analysis
+the paper cites (Ma et al. [23]), the default strategy parallelizes three
+dimensions: across filters (K) and within an IFM channel's width and height
+(H, W). 2-D (K, W) and 1-D (K) strategies are used when a CE's PE budget is
+small or the layer shapes fit them better.
+
+Degree selection is a bounded search over divisors of the layer dimensions
+(degrees that divide the dimension exactly leave no ragged edge and thus no
+PE idling), minimizing the total Eq. 1 cycle count over the layers the CE
+processes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.cnn.graph import ConvSpec
+from repro.utils.errors import ResourceError
+from repro.utils.mathutils import ceil_div, factors, prod
+
+
+class Dimension(enum.Enum):
+    """The six disjoint convolution loop dimensions of Eq. 1."""
+
+    FILTERS = "K"
+    CHANNELS = "C"
+    OUT_HEIGHT = "H"
+    OUT_WIDTH = "W"
+    KERNEL_HEIGHT = "R"
+    KERNEL_WIDTH = "S"
+
+
+#: Dimension extent accessors, keyed by loop dimension.
+_EXTENT = {
+    Dimension.FILTERS: lambda spec: spec.filters,
+    Dimension.CHANNELS: lambda spec: spec.channels,
+    Dimension.OUT_HEIGHT: lambda spec: spec.out_height,
+    Dimension.OUT_WIDTH: lambda spec: spec.out_width,
+    Dimension.KERNEL_HEIGHT: lambda spec: spec.kernel_height,
+    Dimension.KERNEL_WIDTH: lambda spec: spec.kernel_width,
+}
+
+
+def dimension_extent(spec: ConvSpec, dimension: Dimension) -> int:
+    """Extent of ``dimension`` in layer ``spec``."""
+    return _EXTENT[dimension](spec)
+
+
+@dataclass(frozen=True)
+class ParallelismStrategy:
+    """Unrolling degrees per loop dimension; unlisted dimensions have degree 1."""
+
+    degrees: Tuple[Tuple[Dimension, int], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for dimension, degree in self.degrees:
+            if degree <= 0:
+                raise ResourceError(f"degree for {dimension.value} must be positive")
+            if dimension in seen:
+                raise ResourceError(f"duplicate degree for dimension {dimension.value}")
+            seen.add(dimension)
+
+    @classmethod
+    def from_dict(cls, degrees: Dict[Dimension, int]) -> "ParallelismStrategy":
+        ordered = tuple(sorted(degrees.items(), key=lambda item: item[0].value))
+        return cls(degrees=ordered)
+
+    def degree(self, dimension: Dimension) -> int:
+        for dim, deg in self.degrees:
+            if dim is dimension:
+                return deg
+        return 1
+
+    @property
+    def total_parallelism(self) -> int:
+        """Product of degrees — the PEs this strategy keeps busy at best."""
+        return prod(deg for _, deg in self.degrees)
+
+    @property
+    def dimensionality(self) -> int:
+        """Number of dimensions with degree > 1 (1-D, 2-D, 3-D of Fig. 1)."""
+        return sum(1 for _, deg in self.degrees if deg > 1)
+
+    def describe(self) -> str:
+        parts = [f"{dim.value}={deg}" for dim, deg in self.degrees if deg > 1]
+        return "x".join(parts) if parts else "scalar"
+
+
+def layer_cycles(spec: ConvSpec, strategy: ParallelismStrategy) -> int:
+    """Eq. 1 inner term: cycles to process one layer on one CE.
+
+    ``Lat(Li, CEj) = prod over dimensions d of ceil(|d| / Par(CEj, d))``.
+    Ceilings materialize PE underutilization: a degree that does not divide
+    the extent wastes PEs on the ragged final iteration.
+    """
+    cycles = 1
+    for dimension in Dimension:
+        extent = dimension_extent(spec, dimension)
+        cycles *= ceil_div(extent, strategy.degree(dimension))
+    return cycles
+
+
+def layer_utilization(spec: ConvSpec, strategy: ParallelismStrategy, pe_count: int) -> float:
+    """Fraction of PE-cycles doing useful MACs while processing ``spec``."""
+    if pe_count <= 0:
+        raise ResourceError(f"pe_count must be positive, got {pe_count}")
+    cycles = layer_cycles(spec, strategy)
+    return spec.macs / (cycles * pe_count)
+
+
+def _divisor_candidates(extents: Iterable[int], budget: int, cap: int = 24) -> List[int]:
+    """Candidate unrolling degrees: divisors of the given extents, bounded.
+
+    Divisors of the actual layer extents are the only degrees that can avoid
+    ragged edges, so the search is restricted to their union (plus 1),
+    keeping the largest ``cap`` candidates under the PE budget.
+    """
+    candidates = {1}
+    for extent in extents:
+        for divisor in factors(extent):
+            if divisor <= budget:
+                candidates.add(divisor)
+    ordered = sorted(candidates)
+    if len(ordered) > cap:
+        # Keep a spread: always retain the smallest and largest.
+        step = len(ordered) / cap
+        ordered = sorted({ordered[int(i * step)] for i in range(cap)} | {ordered[-1], 1})
+    return ordered
+
+
+@lru_cache(maxsize=65536)
+def _search_cached(
+    budget: int,
+    layer_key: Tuple[Tuple[int, int, int, int, int, int, int], ...],
+) -> Tuple[Tuple[str, int], ...]:
+    """Cached core of :func:`choose_parallelism`; see its docstring."""
+    filters = [k for (k, _, _, _, _, _, _) in layer_key]
+    heights = [h for (_, _, h, _, _, _, _) in layer_key]
+    widths = [w for (_, _, _, w, _, _, _) in layer_key]
+
+    k_candidates = _divisor_candidates(filters, budget)
+    h_candidates = _divisor_candidates(heights, budget)
+    w_candidates = _divisor_candidates(widths, budget)
+
+    best_cost = None
+    best = (1, 1, 1)
+    for pk in k_candidates:
+        if pk > budget:
+            continue
+        for ph in h_candidates:
+            if pk * ph > budget:
+                continue
+            for pw in w_candidates:
+                if pk * ph * pw > budget:
+                    continue
+                cost = 0
+                for (k, c, h, w, r, s, _macs) in layer_key:
+                    cost += (
+                        ceil_div(k, pk) * ceil_div(h, ph) * ceil_div(w, pw) * c * r * s
+                    )
+                if best_cost is None or cost < best_cost or (
+                    cost == best_cost and pk * ph * pw > prod(best)
+                ):
+                    best_cost = cost
+                    best = (pk, ph, pw)
+    pk, ph, pw = best
+    return (("K", pk), ("H", ph), ("W", pw))
+
+
+def choose_parallelism(pe_budget: int, specs: Sequence[ConvSpec]) -> ParallelismStrategy:
+    """Pick the (K, H, W) unrolling that minimizes total Eq. 1 cycles.
+
+    The strategy parallelizes filters and the IFM-channel spatial dimensions
+    (the 3-D scheme of [23]); for small budgets the search naturally
+    degenerates to 2-D or 1-D by assigning degree 1. The search minimizes the
+    summed cycle count over all layers the CE processes, i.e. it optimizes
+    the average case when a CE serves diverse layers (Section IV-B1).
+    """
+    if pe_budget <= 0:
+        raise ResourceError(f"pe_budget must be positive, got {pe_budget}")
+    if not specs:
+        raise ResourceError("cannot choose parallelism for an empty layer set")
+    layer_key = tuple(
+        (
+            spec.filters,
+            spec.channels,
+            spec.out_height,
+            spec.out_width,
+            spec.kernel_height,
+            spec.kernel_width,
+            spec.macs,
+        )
+        for spec in specs
+    )
+    named = _search_cached(pe_budget, layer_key)
+    mapping = {"K": Dimension.FILTERS, "H": Dimension.OUT_HEIGHT, "W": Dimension.OUT_WIDTH}
+    return ParallelismStrategy.from_dict(
+        {mapping[name]: degree for name, degree in named if degree > 1}
+    )

@@ -1,0 +1,138 @@
+"""Tile schedules for pipelined-CEs blocks (Fig. 4b).
+
+Tile-grained pipelining slices every layer's OFM into the same number of
+row-band tiles; CE ``j`` processes tile ``t`` of its layer in pipeline stage
+``t + j``, so a block of ``L`` layers and ``T`` tiles runs in ``T + L - 1``
+stages. Stage latency is the slowest active CE (Eq. 2); CE idleness in the
+fill/drain stages is exactly the latency cost of pipelining the paper
+discusses in Section IV-A1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.cnn.graph import ConvSpec
+from repro.utils.errors import ResourceError
+from repro.utils.mathutils import ceil_div, clamp
+
+#: Bounds on tiles per pipelined pass. The lower bound enables double
+#: buffering at all; the upper bound keeps per-tile overheads (and the
+#: stage bookkeeping) proportionate, mirroring the row-block tile sizes of
+#: the tile-grained baselines (Wei et al. [41]).
+MIN_TILES = 2
+MAX_TILES = 8
+
+
+def select_tile_count(specs: Sequence[ConvSpec]) -> int:
+    """Number of row-band tiles shared by all layers of a pipelined pass.
+
+    Bounded by the smallest OFM height among the layers (a tile must contain
+    at least one output row for every layer) and clamped into
+    ``[MIN_TILES, MAX_TILES]``.
+    """
+    if not specs:
+        raise ResourceError("cannot tile an empty layer set")
+    min_height = min(spec.out_height for spec in specs)
+    return int(clamp(min_height, MIN_TILES, MAX_TILES))
+
+
+def tile_rows(spec: ConvSpec, tile_count: int, tile_index: int) -> int:
+    """OFM rows of layer ``spec`` covered by tile ``tile_index``.
+
+    Rows are distributed as evenly as integer division allows; trailing
+    tiles may be smaller (or empty when a layer has fewer rows than tiles).
+    """
+    if tile_index < 0 or tile_index >= tile_count:
+        raise ResourceError(f"tile index {tile_index} out of range 0..{tile_count - 1}")
+    base = ceil_div(spec.out_height, tile_count)
+    start = base * tile_index
+    if start >= spec.out_height:
+        return 0
+    return min(base, spec.out_height - start)
+
+
+def tile_ofm_elements(spec: ConvSpec, tile_count: int, tile_index: int) -> int:
+    """OFM elements produced by one tile of ``spec``."""
+    return tile_rows(spec, tile_count, tile_index) * spec.out_width * spec.filters
+
+
+def tile_cycles(spec: ConvSpec, cycles_full_layer: int, tile_count: int, tile_index: int) -> int:
+    """Cycles one CE spends on one tile (the Eq. 2 ``Lat(FMsTile_ij, CE_j)``).
+
+    The full-layer Eq. 1 cycle count is apportioned by the tile's share of
+    OFM rows, with a ceiling so the tile sum never undershoots the layer
+    total.
+    """
+    rows = tile_rows(spec, tile_count, tile_index)
+    if rows == 0:
+        return 0
+    return ceil_div(cycles_full_layer * rows, spec.out_height)
+
+
+@dataclass(frozen=True)
+class PipelineSchedule:
+    """Stage-by-stage schedule of one pipelined pass over ``len(cycles)`` CEs.
+
+    ``cycles[j][t]`` is CE ``j``'s cycle count for tile ``t``; CE ``j`` is
+    active in stages ``j .. j + tile_count - 1`` working on tiles
+    ``0 .. tile_count - 1`` (Fig. 4b skew).
+    """
+
+    cycles: Sequence[Sequence[int]]
+    tile_count: int
+
+    @property
+    def num_ces(self) -> int:
+        return len(self.cycles)
+
+    @property
+    def num_stages(self) -> int:
+        """``PipeStages`` of Eq. 2: tiles + CEs - 1."""
+        return self.tile_count + self.num_ces - 1
+
+    def stage_latency(self, stage: int) -> int:
+        """Eq. 2: the slowest active CE bounds the stage."""
+        latency = 0
+        for ce_index in range(self.num_ces):
+            tile = stage - ce_index
+            if 0 <= tile < self.tile_count:
+                latency = max(latency, self.cycles[ce_index][tile])
+        return latency
+
+    def latency_cycles(self) -> int:
+        """Eq. 2 outer sum: total cycles for one input through the pass."""
+        return sum(self.stage_latency(stage) for stage in range(self.num_stages))
+
+    def ce_busy_cycles(self, ce_index: int) -> int:
+        """Eq. 3 inner sum: CE ``ce_index``'s total active cycles."""
+        return sum(self.cycles[ce_index])
+
+    def bottleneck_cycles(self) -> int:
+        """Eq. 3 denominator: the slowest CE's busy cycles."""
+        return max(self.ce_busy_cycles(j) for j in range(self.num_ces))
+
+    def active_ces(self, stage: int) -> List[int]:
+        """Indices of CEs active in ``stage`` (Fig. 4b's activeCEs)."""
+        return [
+            j
+            for j in range(self.num_ces)
+            if 0 <= stage - j < self.tile_count and self.cycles[j][stage - j] > 0
+        ]
+
+
+def build_schedule(
+    specs: Sequence[ConvSpec], full_layer_cycles: Sequence[int], tile_count: int
+) -> PipelineSchedule:
+    """Construct the tile schedule for one pipelined pass.
+
+    ``full_layer_cycles[j]`` is the Eq. 1 cycle count of layer ``j`` on its
+    dedicated CE; the schedule splits it across ``tile_count`` tiles.
+    """
+    if len(specs) != len(full_layer_cycles):
+        raise ResourceError("specs and cycle counts must align")
+    per_ce: List[List[int]] = []
+    for spec, full in zip(specs, full_layer_cycles):
+        per_ce.append([tile_cycles(spec, full, tile_count, t) for t in range(tile_count)])
+    return PipelineSchedule(cycles=tuple(tuple(row) for row in per_ce), tile_count=tile_count)

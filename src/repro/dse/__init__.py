@@ -1,0 +1,21 @@
+"""Design-space exploration of custom multiple-CE accelerators (Use case 3)."""
+
+from repro.dse.objectives import Objective, matches_throughput, throughput_at_most_cost
+from repro.dse.sampler import DesignEvaluator, SampleStats, sample_space
+from repro.dse.search import SearchResult, guided_search, local_search, random_search
+from repro.dse.space import CustomDesign, CustomDesignSpace
+
+__all__ = [
+    "Objective",
+    "matches_throughput",
+    "throughput_at_most_cost",
+    "DesignEvaluator",
+    "SampleStats",
+    "sample_space",
+    "SearchResult",
+    "guided_search",
+    "local_search",
+    "random_search",
+    "CustomDesign",
+    "CustomDesignSpace",
+]

@@ -1,0 +1,72 @@
+"""DSE objectives: scalarization and constraint checks.
+
+Use case 3 optimizes a bi-objective: "identify the architecture of a
+multiple-CE accelerator that maximizes throughput while minimizing on-chip
+memory usage". The scalarized form normalizes both terms against a
+reference design so weights are unitless.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.cost.results import CostReport
+
+
+@dataclass(frozen=True)
+class Objective:
+    """Weighted throughput-vs-cost scalarization (higher score is better)."""
+
+    cost_metric: str = "buffers"
+    throughput_weight: float = 1.0
+    cost_weight: float = 1.0
+    reference_throughput: float = 1.0
+    reference_cost: float = 1.0
+
+    def score(self, report: CostReport) -> float:
+        throughput_term = report.throughput_fps / max(self.reference_throughput, 1e-12)
+        cost_term = report.metric(self.cost_metric) / max(self.reference_cost, 1e-12)
+        return self.throughput_weight * throughput_term - self.cost_weight * cost_term
+
+    @classmethod
+    def relative_to(
+        cls,
+        reference: CostReport,
+        cost_metric: str = "buffers",
+        throughput_weight: float = 1.0,
+        cost_weight: float = 1.0,
+    ) -> "Objective":
+        """Objective normalized to a baseline report (e.g. the best
+        state-of-the-art instance the DSE tries to beat)."""
+        return cls(
+            cost_metric=cost_metric,
+            throughput_weight=throughput_weight,
+            cost_weight=cost_weight,
+            reference_throughput=max(reference.throughput_fps, 1e-12),
+            reference_cost=max(reference.metric(cost_metric), 1e-12),
+        )
+
+
+def throughput_at_most_cost(limit: float, cost_metric: str = "buffers") -> Callable[[CostReport], bool]:
+    """Constraint: keep designs whose cost metric is at most ``limit``."""
+
+    def predicate(report: CostReport) -> bool:
+        return report.metric(cost_metric) <= limit
+
+    return predicate
+
+
+def matches_throughput(
+    floor_fps: float, slack: float = 0.0
+) -> Callable[[CostReport], bool]:
+    """Constraint: throughput at least ``floor_fps * (1 - slack)``.
+
+    Used for the paper's headline DSE claim: customs that *match* the best
+    Segmented throughput while cutting buffers.
+    """
+
+    def predicate(report: CostReport) -> bool:
+        return report.throughput_fps >= floor_fps * (1.0 - slack)
+
+    return predicate

@@ -1,0 +1,89 @@
+"""Design-space sampling and evaluation (the Fig. 10 experiment driver).
+
+Couples a :class:`~repro.dse.space.CustomDesignSpace` with a builder and
+the MCCM model; evaluation results are cached by design key so local search
+revisiting a neighbourhood pays nothing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cnn.graph import CNNGraph
+from repro.core.builder import MultipleCEBuilder
+from repro.core.cost.model import default_model
+from repro.core.cost.results import CostReport
+from repro.dse.space import CustomDesign, CustomDesignSpace
+from repro.hw.boards import FPGABoard
+from repro.hw.datatypes import DEFAULT_PRECISION, Precision
+from repro.utils.errors import MCCMError
+
+
+@dataclass
+class SampleStats:
+    """Aggregate statistics of one sampling run (the §V-E timing claims)."""
+
+    evaluated: int
+    failed: int
+    elapsed_seconds: float
+
+    @property
+    def ms_per_design(self) -> float:
+        if self.evaluated == 0:
+            return 0.0
+        return 1000.0 * self.elapsed_seconds / self.evaluated
+
+
+class DesignEvaluator:
+    """Builds and costs custom designs with memoization."""
+
+    def __init__(
+        self,
+        graph: CNNGraph,
+        board: FPGABoard,
+        precision: Precision = DEFAULT_PRECISION,
+    ) -> None:
+        self._builder = MultipleCEBuilder(graph, board, precision)
+        self._model = default_model()
+        self._cache: Dict[Tuple[int, Tuple[int, ...]], Optional[CostReport]] = {}
+
+    @property
+    def builder(self) -> MultipleCEBuilder:
+        return self._builder
+
+    def evaluate(self, design: CustomDesign) -> Optional[CostReport]:
+        """Cost one design; ``None`` when the design is infeasible."""
+        key = (design.pipelined_layers, design.cuts)
+        if key in self._cache:
+            return self._cache[key]
+        try:
+            accelerator = self._builder.build(design.to_spec())
+            report = self._model.evaluate(accelerator)
+        except MCCMError:
+            report = None
+        self._cache[key] = report
+        return report
+
+
+def sample_space(
+    evaluator: DesignEvaluator,
+    space: CustomDesignSpace,
+    count: int,
+    seed: int = 0,
+) -> Tuple[List[Tuple[CustomDesign, CostReport]], SampleStats]:
+    """Evaluate a random sample of the space; returns results and stats."""
+    results: List[Tuple[CustomDesign, CostReport]] = []
+    failed = 0
+    start = time.perf_counter()
+    for design in space.sample(count, seed=seed):
+        report = evaluator.evaluate(design)
+        if report is None:
+            failed += 1
+            continue
+        results.append((design, report))
+    elapsed = time.perf_counter() - start
+    return results, SampleStats(
+        evaluated=len(results), failed=failed, elapsed_seconds=elapsed
+    )

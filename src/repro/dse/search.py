@@ -1,0 +1,122 @@
+"""Design-space search strategies on top of sampling.
+
+The paper's Use case 3 evaluates a random sample and reads improvements off
+the Pareto front; this module adds a local-search refinement (hill climbing
+from the sampled front) since MCCM evaluations are cheap enough to spend on
+neighbourhoods of promising designs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.pareto import pareto_front
+from repro.core.cost.results import CostReport
+from repro.dse.objectives import Objective
+from repro.dse.sampler import DesignEvaluator, SampleStats, sample_space
+from repro.dse.space import CustomDesign, CustomDesignSpace
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one DSE run."""
+
+    evaluated: Sequence[Tuple[CustomDesign, CostReport]]
+    front: Sequence[Tuple[CustomDesign, CostReport]]
+    stats: SampleStats
+    cost_metric: str = "buffers"
+
+    def best_by(self, objective: Objective) -> Tuple[CustomDesign, CostReport]:
+        if not self.evaluated:
+            raise ValueError("search produced no feasible designs")
+        return max(self.evaluated, key=lambda pair: objective.score(pair[1]))
+
+
+def _front(
+    pairs: Sequence[Tuple[CustomDesign, CostReport]], cost_metric: str
+) -> List[Tuple[CustomDesign, CostReport]]:
+    return pareto_front(
+        list(pairs),
+        benefit=lambda pair: pair[1].throughput_fps,
+        cost=lambda pair: pair[1].metric(cost_metric),
+    )
+
+
+def random_search(
+    evaluator: DesignEvaluator,
+    space: CustomDesignSpace,
+    samples: int,
+    seed: int = 0,
+    cost_metric: str = "buffers",
+) -> SearchResult:
+    """The Fig. 10 experiment: evaluate a random sample, keep the front."""
+    evaluated, stats = sample_space(evaluator, space, samples, seed=seed)
+    return SearchResult(
+        evaluated=evaluated,
+        front=_front(evaluated, cost_metric),
+        stats=stats,
+        cost_metric=cost_metric,
+    )
+
+
+def local_search(
+    evaluator: DesignEvaluator,
+    space: CustomDesignSpace,
+    start: CustomDesign,
+    objective: Objective,
+    iterations: int = 50,
+    neighbours: int = 8,
+    seed: int = 0,
+) -> Tuple[CustomDesign, Optional[CostReport]]:
+    """Hill climbing from ``start`` under a scalarized objective.
+
+    Each iteration evaluates a handful of mutated neighbours and moves to
+    the best strict improvement; stops at a local optimum.
+    """
+    rng = random.Random(seed)
+    current = start
+    current_report = evaluator.evaluate(current)
+    current_score = objective.score(current_report) if current_report else float("-inf")
+    for _ in range(iterations):
+        best_candidate = None
+        best_report = None
+        best_score = current_score
+        for _ in range(neighbours):
+            candidate = space.mutate(current, rng)
+            report = evaluator.evaluate(candidate)
+            if report is None:
+                continue
+            score = objective.score(report)
+            if score > best_score:
+                best_candidate, best_report, best_score = candidate, report, score
+        if best_candidate is None:
+            break
+        current, current_report, current_score = best_candidate, best_report, best_score
+    return current, current_report
+
+
+def guided_search(
+    evaluator: DesignEvaluator,
+    space: CustomDesignSpace,
+    samples: int,
+    objective: Objective,
+    refine_top: int = 5,
+    seed: int = 0,
+) -> SearchResult:
+    """Random sample followed by local refinement of the sampled front."""
+    base = random_search(evaluator, space, samples, seed=seed, cost_metric=objective.cost_metric)
+    refined: List[Tuple[CustomDesign, CostReport]] = list(base.evaluated)
+    for index, (design, _report) in enumerate(list(base.front)[:refine_top]):
+        improved, report = local_search(
+            evaluator, space, design, objective, seed=seed + index + 1
+        )
+        if report is not None:
+            refined.append((improved, report))
+    return SearchResult(
+        evaluated=refined,
+        front=_front(refined, objective.cost_metric),
+        stats=base.stats,
+        cost_metric=objective.cost_metric,
+    )

@@ -1,0 +1,172 @@
+"""Custom multiple-CE design space (Use case 3, Fig. 10).
+
+The paper derives a custom family from its bottleneck findings: "a custom
+architecture that comprises a Hybrid-like first block followed by
+Segmented-like blocks". A design point is:
+
+* ``pipelined_layers`` — the first ``p`` layers run on a pipelined-CEs
+  block with one engine per layer (``p = 0`` degenerates to pure
+  Segmented);
+* a list of cut points partitioning the remaining layers into single-CE
+  segments.
+
+With CE counts 2..11 the space is combinatorially huge (the paper counts
+roughly 97.1 billion designs for XCp); :meth:`CustomDesignSpace.size`
+computes the exact count for any CNN.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.cnn.graph import ConvSpec
+from repro.core.notation import ArchitectureSpec, BlockSpec
+from repro.utils.errors import ResourceError
+
+
+@dataclass(frozen=True)
+class CustomDesign:
+    """One point of the custom space, independent of any CNN instance.
+
+    ``cuts`` are exclusive 0-based layer indices (relative to the whole
+    CNN) splitting the post-pipelined layers into single-CE segments.
+    """
+
+    pipelined_layers: int
+    cuts: Tuple[int, ...]
+    num_layers: int
+
+    def __post_init__(self) -> None:
+        if self.pipelined_layers < 0:
+            raise ResourceError("pipelined_layers must be non-negative")
+        if self.pipelined_layers >= self.num_layers:
+            raise ResourceError("pipelined part must leave layers for the tail")
+        previous = self.pipelined_layers
+        for cut in self.cuts:
+            if not (previous < cut < self.num_layers):
+                raise ResourceError(f"cut {cut} out of order or range")
+            previous = cut
+
+    @property
+    def ce_count(self) -> int:
+        return self.pipelined_layers + len(self.cuts) + 1
+
+    def to_spec(self) -> ArchitectureSpec:
+        """Lower to the notation-level architecture spec."""
+        blocks: List[BlockSpec] = []
+        if self.pipelined_layers:
+            blocks.append(
+                BlockSpec(
+                    start_layer=1,
+                    end_layer=self.pipelined_layers,
+                    ce_count=self.pipelined_layers,
+                )
+            )
+        bounds = [self.pipelined_layers] + list(self.cuts) + [self.num_layers]
+        for start, end in zip(bounds, bounds[1:]):
+            blocks.append(BlockSpec(start_layer=start + 1, end_layer=end, ce_count=1))
+        name = f"Custom-p{self.pipelined_layers}-s{len(self.cuts) + 1}"
+        return ArchitectureSpec(name=name, blocks=tuple(blocks), coarse_pipelined=True)
+
+
+class CustomDesignSpace:
+    """Enumerable/sampleable space of :class:`CustomDesign` points."""
+
+    def __init__(
+        self,
+        specs: Sequence[ConvSpec],
+        ce_counts: Sequence[int] = tuple(range(2, 12)),
+        max_pipelined: Optional[int] = None,
+    ) -> None:
+        if not specs:
+            raise ResourceError("design space needs a CNN with conv layers")
+        self.num_layers = len(specs)
+        self.ce_counts = tuple(sorted(set(ce_counts)))
+        if not self.ce_counts or self.ce_counts[0] < 2:
+            raise ResourceError("CE counts must be >= 2")
+        self.max_pipelined = (
+            min(max_pipelined, self.num_layers - 1)
+            if max_pipelined is not None
+            else self.num_layers - 1
+        )
+
+    def size(self) -> int:
+        """Exact design count: sum over CE count ``n`` and pipelined depth
+        ``p`` of the segment-cut combinations ``C(R - 1, m - 1)`` with
+        ``R = layers - p`` remaining layers and ``m = n - p`` segments."""
+        total = 0
+        for n in self.ce_counts:
+            for p in range(0, min(n, self.max_pipelined + 1)):
+                m = n - p
+                remaining = self.num_layers - p
+                if m < 1 or remaining < m:
+                    continue
+                total += math.comb(remaining - 1, m - 1)
+        return total
+
+    def random_design(self, rng: random.Random) -> CustomDesign:
+        """Draw one design uniformly over (n, p) with uniform random cuts."""
+        for _ in range(256):
+            n = rng.choice(self.ce_counts)
+            p = rng.randint(0, min(n - 1, self.max_pipelined))
+            m = n - p
+            remaining = self.num_layers - p
+            if remaining < m:
+                continue
+            cut_positions = sorted(
+                rng.sample(range(p + 1, self.num_layers), m - 1)
+            )
+            return CustomDesign(
+                pipelined_layers=p,
+                cuts=tuple(cut_positions),
+                num_layers=self.num_layers,
+            )
+        raise ResourceError("could not draw a feasible design")
+
+    def sample(self, count: int, seed: int = 0) -> Iterator[CustomDesign]:
+        """Yield ``count`` designs (deduplicated, deterministic for a seed)."""
+        rng = random.Random(seed)
+        seen = set()
+        produced = 0
+        attempts = 0
+        limit = max(count * 50, 1000)
+        while produced < count and attempts < limit:
+            attempts += 1
+            design = self.random_design(rng)
+            key = (design.pipelined_layers, design.cuts)
+            if key in seen:
+                continue
+            seen.add(key)
+            produced += 1
+            yield design
+
+    def mutate(self, design: CustomDesign, rng: random.Random) -> CustomDesign:
+        """A neighbouring design: nudge one cut, or grow/shrink the
+        pipelined part (used by local search)."""
+        for _ in range(64):
+            choice = rng.random()
+            try:
+                if choice < 0.5 and design.cuts:
+                    index = rng.randrange(len(design.cuts))
+                    delta = rng.choice((-2, -1, 1, 2))
+                    cuts = list(design.cuts)
+                    cuts[index] += delta
+                    return CustomDesign(
+                        pipelined_layers=design.pipelined_layers,
+                        cuts=tuple(sorted(cuts)),
+                        num_layers=design.num_layers,
+                    )
+                delta = rng.choice((-1, 1))
+                p = design.pipelined_layers + delta
+                if p < 0 or p > self.max_pipelined:
+                    continue
+                cuts = tuple(cut for cut in design.cuts if cut > p)
+                return CustomDesign(
+                    pipelined_layers=p, cuts=cuts, num_layers=design.num_layers
+                )
+            except ResourceError:
+                continue
+        return design

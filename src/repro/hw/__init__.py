@@ -1,0 +1,37 @@
+"""FPGA hardware descriptions: boards (Table II) and arithmetic datatypes."""
+
+from repro.hw.boards import (
+    BOARDS,
+    DEFAULT_CLOCK_HZ,
+    PAPER_BOARDS,
+    FPGABoard,
+    available_boards,
+    get_board,
+)
+from repro.hw.datatypes import (
+    DATATYPES,
+    DEFAULT_PRECISION,
+    FP32,
+    INT8,
+    INT16,
+    DataType,
+    Precision,
+    get_datatype,
+)
+
+__all__ = [
+    "BOARDS",
+    "DEFAULT_CLOCK_HZ",
+    "PAPER_BOARDS",
+    "FPGABoard",
+    "available_boards",
+    "get_board",
+    "DATATYPES",
+    "DEFAULT_PRECISION",
+    "FP32",
+    "INT8",
+    "INT16",
+    "DataType",
+    "Precision",
+    "get_datatype",
+]

@@ -1,0 +1,113 @@
+"""FPGA platform descriptions (the paper's Table II boards).
+
+A board is characterized by the three resources the methodology consumes
+(Fig. 3): number of PEs (DSP slices), on-chip memory capacity (Block RAM),
+and off-chip memory bandwidth. The accelerator clock is a property of the
+implementation, not the board; we default to 200 MHz, typical of the cited
+HLS accelerator generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List
+
+from repro.utils.errors import ResourceError
+from repro.utils.units import MHZ, gbps_to_bytes_per_cycle, mib_to_bytes
+
+#: Default accelerator clock frequency (Hz).
+DEFAULT_CLOCK_HZ = 200 * MHZ
+
+
+@dataclass(frozen=True)
+class FPGABoard:
+    """An FPGA resource budget.
+
+    Attributes
+    ----------
+    name:
+        Board identifier, e.g. ``"zcu102"``.
+    dsp_count:
+        Number of DSP slices; one DSP implements one PE (one MAC/cycle).
+    bram_bytes:
+        On-chip Block RAM capacity in bytes.
+    bandwidth_gbps:
+        Off-chip memory bandwidth in GB/s (decimal gigabytes).
+    clock_hz:
+        Accelerator clock frequency in Hz.
+    """
+
+    name: str
+    dsp_count: int
+    bram_bytes: int
+    bandwidth_gbps: float
+    clock_hz: float = DEFAULT_CLOCK_HZ
+
+    def __post_init__(self) -> None:
+        if self.dsp_count <= 0:
+            raise ResourceError(f"{self.name}: dsp_count must be positive")
+        if self.bram_bytes <= 0:
+            raise ResourceError(f"{self.name}: bram_bytes must be positive")
+        if self.bandwidth_gbps <= 0:
+            raise ResourceError(f"{self.name}: bandwidth must be positive")
+        if self.clock_hz <= 0:
+            raise ResourceError(f"{self.name}: clock must be positive")
+
+    @property
+    def pe_count(self) -> int:
+        """PEs available to compute engines (1 DSP = 1 PE)."""
+        return self.dsp_count
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Off-chip bandwidth expressed in bytes per clock cycle."""
+        return gbps_to_bytes_per_cycle(self.bandwidth_gbps, self.clock_hz)
+
+    @property
+    def peak_macs_per_second(self) -> float:
+        """Peak MAC throughput with every PE busy every cycle."""
+        return self.dsp_count * self.clock_hz
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        """Convert a cycle count to seconds at this board's clock."""
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        return cycles / self.clock_hz
+
+    def with_clock(self, clock_hz: float) -> "FPGABoard":
+        """A copy of this board running at a different clock."""
+        return replace(self, clock_hz=clock_hz)
+
+
+def _board(name: str, dsps: int, bram_mib: float, bandwidth_gbps: float) -> FPGABoard:
+    return FPGABoard(
+        name=name,
+        dsp_count=dsps,
+        bram_bytes=mib_to_bytes(bram_mib),
+        bandwidth_gbps=bandwidth_gbps,
+    )
+
+
+#: The paper's Table II evaluation boards.
+BOARDS: Dict[str, FPGABoard] = {
+    "zc706": _board("zc706", dsps=900, bram_mib=2.4, bandwidth_gbps=3.2),
+    "vcu108": _board("vcu108", dsps=768, bram_mib=7.6, bandwidth_gbps=19.2),
+    "vcu110": _board("vcu110", dsps=1800, bram_mib=4.0, bandwidth_gbps=19.2),
+    "zcu102": _board("zcu102", dsps=2520, bram_mib=16.6, bandwidth_gbps=19.2),
+}
+
+#: Board order used by the paper's Table V columns.
+PAPER_BOARDS: List[str] = ["zc706", "vcu108", "vcu110", "zcu102"]
+
+
+def get_board(name: str) -> FPGABoard:
+    """Look up a Table II board by (case-insensitive) name."""
+    key = name.strip().lower()
+    if key not in BOARDS:
+        raise KeyError(f"unknown board {name!r}; available: {sorted(BOARDS)}")
+    return BOARDS[key]
+
+
+def available_boards() -> List[str]:
+    """Names of all registered boards."""
+    return sorted(BOARDS)

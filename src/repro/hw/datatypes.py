@@ -1,0 +1,63 @@
+"""Arithmetic datatypes for weights and activations.
+
+FPGA CNN accelerators commonly quantize to 16- or 8-bit fixed point; the
+datatype determines how element counts translate to buffer bytes and
+off-chip traffic. The library default is 16-bit for both weights and
+activations, matching the HLS baselines the paper builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class DataType:
+    """A fixed-point datatype with its storage width."""
+
+    name: str
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.bits <= 0 or self.bits % 8 != 0:
+            raise ValueError(f"{self.name}: bits must be a positive multiple of 8")
+
+    @property
+    def bytes(self) -> int:
+        return self.bits // 8
+
+
+INT8 = DataType("int8", 8)
+INT16 = DataType("int16", 16)
+FP32 = DataType("fp32", 32)
+
+DATATYPES: Dict[str, DataType] = {dt.name: dt for dt in (INT8, INT16, FP32)}
+
+
+@dataclass(frozen=True)
+class Precision:
+    """Weight and activation datatypes used by an accelerator."""
+
+    weights: DataType = INT16
+    activations: DataType = INT16
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.weights.bytes
+
+    @property
+    def activation_bytes(self) -> int:
+        return self.activations.bytes
+
+
+#: Library-wide default precision (16-bit weights and activations).
+DEFAULT_PRECISION = Precision()
+
+
+def get_datatype(name: str) -> DataType:
+    """Look up a datatype by name (``int8``, ``int16``, ``fp32``)."""
+    key = name.strip().lower()
+    if key not in DATATYPES:
+        raise KeyError(f"unknown datatype {name!r}; available: {sorted(DATATYPES)}")
+    return DATATYPES[key]

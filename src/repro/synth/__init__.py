@@ -1,0 +1,29 @@
+"""Synthesis substitute: cycle-approximate reference simulator + validation."""
+
+from repro.synth.memory import BURST_BYTES, BURST_OVERHEAD_CYCLES, MemoryPort
+from repro.synth.simulator import (
+    SimulatedSegment,
+    SimulationResult,
+    SynthesisSimulator,
+    quantize_buffer,
+)
+from repro.synth.validate import (
+    VALIDATION_METRICS,
+    ValidationRecord,
+    ValidationSummary,
+    accuracy_percent,
+)
+
+__all__ = [
+    "BURST_BYTES",
+    "BURST_OVERHEAD_CYCLES",
+    "MemoryPort",
+    "SimulatedSegment",
+    "SimulationResult",
+    "SynthesisSimulator",
+    "quantize_buffer",
+    "VALIDATION_METRICS",
+    "ValidationRecord",
+    "ValidationSummary",
+    "accuracy_percent",
+]

@@ -1,0 +1,55 @@
+"""Shared utilities: integer math helpers, unit conversions, and errors."""
+
+from repro.utils.errors import (
+    MCCMError,
+    NotationError,
+    ResourceError,
+    ShapeError,
+    ValidationError,
+)
+from repro.utils.mathutils import (
+    balanced_partition,
+    ceil_div,
+    clamp,
+    closest_factor,
+    factor_pairs,
+    factors,
+    prod,
+    proportional_allocation,
+)
+from repro.utils.units import (
+    BYTES_PER_KIB,
+    BYTES_PER_MIB,
+    GHZ,
+    KHZ,
+    MHZ,
+    bytes_to_mib,
+    gbps_to_bytes_per_cycle,
+    mib_to_bytes,
+    seconds_to_cycles,
+)
+
+__all__ = [
+    "MCCMError",
+    "NotationError",
+    "ResourceError",
+    "ShapeError",
+    "ValidationError",
+    "balanced_partition",
+    "ceil_div",
+    "clamp",
+    "closest_factor",
+    "factor_pairs",
+    "factors",
+    "prod",
+    "proportional_allocation",
+    "BYTES_PER_KIB",
+    "BYTES_PER_MIB",
+    "GHZ",
+    "KHZ",
+    "MHZ",
+    "bytes_to_mib",
+    "gbps_to_bytes_per_cycle",
+    "mib_to_bytes",
+    "seconds_to_cycles",
+]

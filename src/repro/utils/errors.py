@@ -1,0 +1,43 @@
+"""Exception hierarchy for the MCCM reproduction.
+
+All library-specific exceptions derive from :class:`MCCMError` so callers can
+catch a single base class at API boundaries.
+"""
+
+
+class MCCMError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ShapeError(MCCMError):
+    """A tensor or layer shape is inconsistent or cannot be inferred.
+
+    Raised, for example, when a convolution receives an input whose channel
+    count does not match the layer's declared input channels, or when two
+    branches of a residual connection disagree on their output shape.
+    """
+
+
+class NotationError(MCCMError):
+    """The multiple-CE mapping notation string is malformed.
+
+    The accepted grammar is described in :mod:`repro.core.notation` and
+    follows Section III-B of the paper, e.g. ``{L1-L4: CE1, L5-Last: CE2-CE5}``.
+    """
+
+
+class ResourceError(MCCMError):
+    """An accelerator configuration exceeds the FPGA resource budget.
+
+    Examples: requesting more CEs than available PEs, or a buffer plan that
+    cannot fit the mandatory double-buffers in on-chip memory.
+    """
+
+
+class ValidationError(MCCMError):
+    """A model-vs-reference validation input is inconsistent.
+
+    Raised by :mod:`repro.synth.validate` when estimated and reference series
+    have mismatched lengths or a reference value is non-positive, which would
+    make the paper's accuracy formula (Eq. 10) undefined.
+    """

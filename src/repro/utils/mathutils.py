@@ -1,0 +1,195 @@
+"""Integer math helpers used across the cost model.
+
+The analytical equations in the paper are dominated by integer ceilings
+(Eq. 1), factorizations (parallelism strategies must divide or nearly divide
+layer dimensions), and proportional resource splits (PEs assigned to each CE
+proportional to its workload, Section V-A3). This module collects those
+primitives so that every cost component uses identical, well-tested
+arithmetic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+
+def ceil_div(numerator: int, denominator: int) -> int:
+    """Integer ceiling division, ``ceil(numerator / denominator)``.
+
+    Raises :class:`ValueError` on non-positive denominators because every
+    use in the model divides by a count (PEs, parallelism degree, tile size)
+    that must be at least 1.
+    """
+    if denominator <= 0:
+        raise ValueError(f"denominator must be positive, got {denominator}")
+    if numerator < 0:
+        raise ValueError(f"numerator must be non-negative, got {numerator}")
+    return -(-numerator // denominator)
+
+
+def prod(values: Iterable[int]) -> int:
+    """Product of an iterable of integers; empty product is 1."""
+    result = 1
+    for value in values:
+        result *= value
+    return result
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into the inclusive range ``[low, high]``."""
+    if low > high:
+        raise ValueError(f"empty range: low={low} > high={high}")
+    return max(low, min(high, value))
+
+
+def factors(n: int) -> List[int]:
+    """All positive divisors of ``n`` in ascending order."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    small: List[int] = []
+    large: List[int] = []
+    limit = int(math.isqrt(n))
+    for candidate in range(1, limit + 1):
+        if n % candidate == 0:
+            small.append(candidate)
+            other = n // candidate
+            if other != candidate:
+                large.append(other)
+    return small + large[::-1]
+
+
+def factor_pairs(n: int) -> List[Tuple[int, int]]:
+    """All ordered pairs ``(a, b)`` with ``a * b == n``."""
+    return [(f, n // f) for f in factors(n)]
+
+
+def closest_factor(n: int, target: int) -> int:
+    """The divisor of ``n`` closest to ``target`` (ties go to the smaller).
+
+    Used when fitting a parallelism degree to a layer dimension: a degree
+    that divides the dimension exactly avoids ragged-edge PE idling.
+    """
+    if target <= 0:
+        raise ValueError(f"target must be positive, got {target}")
+    best = 1
+    best_distance = abs(target - 1)
+    for f in factors(n):
+        distance = abs(f - target)
+        if distance < best_distance:
+            best = f
+            best_distance = distance
+    return best
+
+
+def proportional_allocation(total: int, weights: Sequence[float], minimum: int = 1) -> List[int]:
+    """Split ``total`` integer units proportionally to ``weights``.
+
+    Every share receives at least ``minimum`` units; the remainder after
+    flooring is handed out by largest fractional part (Hamilton's method),
+    which keeps the allocation as close to proportional as integers allow.
+    This mirrors the paper's PE distribution rule: "The number of PEs in a CE
+    ... is proportional to the CE workload" (Section V-A3).
+    """
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    if not weights:
+        return []
+    if any(w < 0 for w in weights):
+        raise ValueError("weights must be non-negative")
+    count = len(weights)
+    if total < minimum * count:
+        raise ValueError(
+            f"cannot allocate {total} units to {count} shares with minimum {minimum}"
+        )
+    weight_sum = float(sum(weights))
+    if weight_sum == 0.0:
+        # Degenerate case: split as evenly as possible.
+        weights = [1.0] * count
+        weight_sum = float(count)
+    distributable = total - minimum * count
+    raw = [distributable * (w / weight_sum) for w in weights]
+    allocation = [minimum + int(r) for r in raw]
+    remainders = sorted(
+        range(count), key=lambda i: (raw[i] - int(raw[i]), weights[i]), reverse=True
+    )
+    leftover = total - sum(allocation)
+    for i in range(leftover):
+        allocation[remainders[i % count]] += 1
+    return allocation
+
+
+def balanced_partition(loads: Sequence[float], parts: int) -> List[Tuple[int, int]]:
+    """Partition a sequence of non-negative loads into contiguous chunks.
+
+    Returns ``parts`` half-open index ranges ``(start, end)`` covering
+    ``range(len(loads))`` whose maximum chunk load is minimized. This is the
+    classic linear-partition problem, solved exactly via binary search over
+    the bottleneck value with a greedy feasibility check. It is the core of
+    the Segmented architecture's segmentation heuristic: segments should have
+    near-equal compute so the coarse-grained pipeline is balanced.
+    """
+    n = len(loads)
+    if parts <= 0:
+        raise ValueError(f"parts must be positive, got {parts}")
+    if n < parts:
+        raise ValueError(f"cannot split {n} items into {parts} non-empty parts")
+    if any(load < 0 for load in loads):
+        raise ValueError("loads must be non-negative")
+
+    low = max(loads)
+    high = float(sum(loads))
+
+    def chunks_needed(limit: float) -> int:
+        needed = 1
+        current = 0.0
+        for load in loads:
+            if current + load > limit:
+                needed += 1
+                current = load
+            else:
+                current += load
+        return needed
+
+    for _ in range(64):
+        mid = (low + high) / 2.0
+        if chunks_needed(mid) <= parts:
+            high = mid
+        else:
+            low = mid
+    limit = high
+
+    boundaries: List[Tuple[int, int]] = []
+    start = 0
+    current = 0.0
+    for index, load in enumerate(loads):
+        if current + load > limit and index > start:
+            boundaries.append((start, index))
+            start = index
+            current = load
+        else:
+            current += load
+    boundaries.append((start, n))
+
+    # Floating-point slack can leave the greedy one chunk over; merge the
+    # cheapest adjacent pair until we are back within `parts`.
+    while len(boundaries) > parts:
+        pair_loads = [
+            sum(loads[boundaries[i][0] : boundaries[i + 1][1]])
+            for i in range(len(boundaries) - 1)
+        ]
+        cheapest = min(range(len(pair_loads)), key=lambda i: pair_loads[i])
+        begin = boundaries[cheapest][0]
+        end = boundaries[cheapest + 1][1]
+        boundaries[cheapest : cheapest + 2] = [(begin, end)]
+
+    # The greedy may use fewer chunks than allowed; split the chunks with the
+    # most items until we have exactly `parts` non-empty ranges.
+    while len(boundaries) < parts:
+        widest = max(range(len(boundaries)), key=lambda i: boundaries[i][1] - boundaries[i][0])
+        begin, end = boundaries[widest]
+        if end - begin < 2:
+            raise ValueError(f"cannot split {n} items into {parts} non-empty parts")
+        middle = begin + (end - begin) // 2
+        boundaries[widest : widest + 1] = [(begin, middle), (middle, end)]
+    return boundaries

@@ -1,0 +1,54 @@
+"""Unit conversions shared by the cost model and the simulator.
+
+The paper reports on-chip memory in MiB (Table II footnote), bandwidth in
+GB/s, and throughput in frames per second. Internally everything is kept in
+base units — bytes, cycles, seconds — and converted at the reporting edge.
+"""
+
+from __future__ import annotations
+
+BYTES_PER_KIB = 1024
+BYTES_PER_MIB = 1024 * 1024
+
+KHZ = 1_000.0
+MHZ = 1_000_000.0
+GHZ = 1_000_000_000.0
+
+#: Decimal gigabyte used by memory-bandwidth vendors (GB/s in Table II).
+BYTES_PER_GB = 1_000_000_000
+
+
+def bytes_to_mib(num_bytes: float) -> float:
+    """Convert a byte count to binary mebibytes."""
+    if num_bytes < 0:
+        raise ValueError(f"byte count must be non-negative, got {num_bytes}")
+    return num_bytes / BYTES_PER_MIB
+
+
+def mib_to_bytes(mib: float) -> int:
+    """Convert binary mebibytes to whole bytes (floor)."""
+    if mib < 0:
+        raise ValueError(f"MiB count must be non-negative, got {mib}")
+    return int(mib * BYTES_PER_MIB)
+
+
+def gbps_to_bytes_per_cycle(gigabytes_per_second: float, clock_hz: float) -> float:
+    """Convert off-chip bandwidth in GB/s to bytes per clock cycle.
+
+    The conversion uses the decimal gigabyte convention of DRAM datasheets.
+    """
+    if gigabytes_per_second < 0:
+        raise ValueError("bandwidth must be non-negative")
+    if clock_hz <= 0:
+        raise ValueError("clock frequency must be positive")
+    return gigabytes_per_second * BYTES_PER_GB / clock_hz
+
+
+def seconds_to_cycles(seconds: float, clock_hz: float) -> int:
+    """Number of whole clock cycles elapsed in ``seconds`` (ceiling)."""
+    if seconds < 0:
+        raise ValueError("seconds must be non-negative")
+    if clock_hz <= 0:
+        raise ValueError("clock frequency must be positive")
+    cycles = seconds * clock_hz
+    return int(-(-cycles // 1))

@@ -1,0 +1,60 @@
+"""Tests for the Fig. 6 bottleneck profiling."""
+
+import pytest
+
+from repro.analysis.bottleneck import idle_fraction, profile_bottlenecks
+from repro.api import evaluate
+
+
+@pytest.fixture(scope="module")
+def tight_report():
+    """SegmentedRR on a bandwidth-starved board: memory-bound segments."""
+    from tests.conftest import build_tiny_cnn
+    from repro.hw.boards import FPGABoard
+
+    board = FPGABoard(name="slow", dsp_count=256, bram_bytes=64 * 1024, bandwidth_gbps=0.5)
+    return evaluate(build_tiny_cnn(), board, "segmentedrr", ce_count=2)
+
+
+@pytest.fixture(scope="module")
+def roomy_report(roomy_board):
+    from tests.conftest import build_tiny_cnn
+
+    return evaluate(build_tiny_cnn(), roomy_board, "segmentedrr", ce_count=2)
+
+
+class TestProfile:
+    def test_one_timing_per_segment(self, tight_report):
+        profile = profile_bottlenecks(tight_report)
+        assert len(profile.segments) == len(tight_report.segments)
+
+    def test_fractions_normalized(self, tight_report):
+        profile = profile_bottlenecks(tight_report)
+        total_wall = sum(
+            max(t.compute_fraction, t.memory_fraction) for t in profile.segments
+        )
+        assert total_wall == pytest.approx(1.0, rel=1e-6)
+
+    def test_starved_board_is_memory_bound(self, tight_report):
+        profile = profile_bottlenecks(tight_report)
+        assert profile.memory_bound_segments()
+        assert profile.idle_fraction > 0.1
+
+    def test_roomy_board_is_compute_bound(self, roomy_report):
+        profile = profile_bottlenecks(roomy_report)
+        assert not profile.memory_bound_segments()
+        assert profile.idle_fraction == pytest.approx(0.0, abs=1e-9)
+
+    def test_idle_fraction_helper(self, tight_report):
+        assert idle_fraction(tight_report) == pytest.approx(
+            profile_bottlenecks(tight_report).idle_fraction
+        )
+
+    def test_table_renders(self, tight_report):
+        text = profile_bottlenecks(tight_report).table()
+        assert "segment" in text and "idle" in text.lower()
+
+    def test_fractions_non_negative(self, tight_report):
+        for timing in profile_bottlenecks(tight_report).segments:
+            assert timing.compute_fraction >= 0.0
+            assert timing.memory_fraction >= 0.0

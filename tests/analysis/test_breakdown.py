@@ -1,0 +1,60 @@
+"""Tests for the Fig. 7 weights/FMs access breakdown."""
+
+import pytest
+
+from repro.analysis.breakdown import (
+    access_breakdown,
+    breakdown_table,
+    per_segment_breakdown,
+)
+from repro.api import evaluate
+
+
+@pytest.fixture(scope="module")
+def reports(zc706):
+    from tests.conftest import build_tiny_cnn
+
+    cnn = build_tiny_cnn()
+    return [
+        evaluate(cnn, zc706, "segmentedrr", ce_count=2),
+        evaluate(cnn, zc706, "segmented", ce_count=3),
+        evaluate(cnn, zc706, "hybrid", ce_count=3),
+    ]
+
+
+class TestAccessShares:
+    def test_fractions_sum_to_one(self, reports):
+        for report in reports:
+            shares = access_breakdown(report)
+            assert shares.weight_fraction + shares.fm_fraction == pytest.approx(1.0)
+
+    def test_total_matches_report(self, reports):
+        for report in reports:
+            shares = access_breakdown(report)
+            assert shares.total_bytes == report.accesses.total_bytes
+
+    def test_dominant_label(self, reports):
+        for report in reports:
+            shares = access_breakdown(report)
+            expected = "weights" if shares.weight_bytes >= shares.fm_bytes else "fms"
+            assert shares.dominant == expected
+
+    def test_rr_fm_traffic_is_boundary_only(self, reports, precision):
+        # SegmentedRR keeps FMs on-chip; only the network input/output move.
+        rr = access_breakdown(reports[0])
+        specs_in = reports[0].blocks[0].segments[0]
+        assert rr.fm_bytes > 0
+        assert rr.weight_fraction > 0.8
+
+
+class TestRendering:
+    def test_table_lists_all(self, reports):
+        text = breakdown_table(reports)
+        for report in reports:
+            assert report.accelerator_name in text
+
+    def test_per_segment_rows(self, reports):
+        rows = per_segment_breakdown(reports[0])
+        assert len(rows) == len(reports[0].segments)
+        total_w = sum(w for _, w, _ in rows)
+        assert total_w == reports[0].accesses.weight_bytes

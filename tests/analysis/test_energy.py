@@ -1,0 +1,100 @@
+"""Tests for the energy model extension."""
+
+import pytest
+
+from repro.analysis.energy import (
+    DEFAULT_CONSTANTS,
+    EnergyConstants,
+    energy_breakdown,
+    energy_table,
+    per_segment_energy,
+)
+from repro.api import evaluate
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return {
+        "rr": evaluate("resnet50", "zc706", "segmentedrr", ce_count=2),
+        "hybrid": evaluate("resnet50", "zc706", "hybrid", ce_count=9),
+    }
+
+
+class TestConstants:
+    def test_defaults_positive(self):
+        assert DEFAULT_CONSTANTS.mac_pj > 0
+        assert DEFAULT_CONSTANTS.dram_per_byte_pj > DEFAULT_CONSTANTS.sram_per_byte_pj
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            EnergyConstants(mac_pj=-1.0)
+
+
+class TestBreakdown:
+    def test_components_positive(self, reports):
+        breakdown = energy_breakdown(reports["rr"])
+        assert breakdown.compute_pj > 0
+        assert breakdown.onchip_pj > 0
+        assert breakdown.offchip_pj > 0
+        assert breakdown.static_pj >= 0
+        assert breakdown.total_pj == pytest.approx(
+            breakdown.compute_pj
+            + breakdown.onchip_pj
+            + breakdown.offchip_pj
+            + breakdown.static_pj
+        )
+
+    def test_compute_energy_same_for_same_cnn(self, reports):
+        # MAC count is a CNN property, independent of the architecture.
+        rr = energy_breakdown(reports["rr"])
+        hybrid = energy_breakdown(reports["hybrid"])
+        assert rr.compute_pj == pytest.approx(hybrid.compute_pj)
+
+    def test_more_accesses_cost_more_offchip_energy(self, reports):
+        rr = energy_breakdown(reports["rr"])
+        hybrid = energy_breakdown(reports["hybrid"])
+        # SegmentedRR moves ~3x the bytes of Hybrid on ZC706 (Fig. 5).
+        assert rr.offchip_pj > 2.0 * hybrid.offchip_pj
+
+    def test_offchip_fraction_in_unit_interval(self, reports):
+        for report in reports.values():
+            fraction = energy_breakdown(report).offchip_fraction
+            assert 0.0 < fraction < 1.0
+
+    def test_dram_dominates_for_bandwidth_bound_designs(self, reports):
+        # The paper's premise: off-chip access is the energy-costly event.
+        breakdown = energy_breakdown(reports["rr"])
+        assert breakdown.offchip_pj > breakdown.compute_pj
+
+    def test_scales_linearly_with_constants(self, reports):
+        base = energy_breakdown(reports["rr"])
+        doubled = energy_breakdown(
+            reports["rr"],
+            EnergyConstants(
+                mac_pj=2 * DEFAULT_CONSTANTS.mac_pj,
+                sram_per_byte_pj=DEFAULT_CONSTANTS.sram_per_byte_pj,
+                dram_per_byte_pj=DEFAULT_CONSTANTS.dram_per_byte_pj,
+                static_per_pe_cycle_pj=DEFAULT_CONSTANTS.static_per_pe_cycle_pj,
+            ),
+        )
+        assert doubled.compute_pj == pytest.approx(2 * base.compute_pj)
+        assert doubled.offchip_pj == pytest.approx(base.offchip_pj)
+
+    def test_as_dict_keys(self, reports):
+        data = energy_breakdown(reports["rr"]).as_dict()
+        assert set(data) == {
+            "compute_pj", "onchip_pj", "offchip_pj", "static_pj", "total_pj"
+        }
+
+
+class TestPerSegment:
+    def test_segments_sum_to_total(self, reports):
+        report = reports["rr"]
+        total = energy_breakdown(report)
+        segments = per_segment_energy(report)
+        assert len(segments) == len(report.segments)
+        assert sum(b.total_pj for _, b in segments) == pytest.approx(total.total_pj)
+
+    def test_table_renders(self, reports):
+        text = energy_table(list(reports.values()))
+        assert "mJ/inf" in text and "SegmentedRR-2" in text

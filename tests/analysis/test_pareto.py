@@ -1,0 +1,74 @@
+"""Tests for Pareto-front utilities."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.pareto import dominates, pareto_front, report_front, scatter_points
+from repro.api import sweep
+
+
+class TestParetoFront:
+    def test_single_item(self):
+        assert pareto_front([(1.0, 1.0)], lambda p: p[0], lambda p: p[1]) == [(1.0, 1.0)]
+
+    def test_dominated_point_removed(self):
+        points = [(10.0, 5.0), (8.0, 6.0)]  # second: less benefit, more cost
+        front = pareto_front(points, lambda p: p[0], lambda p: p[1])
+        assert front == [(10.0, 5.0)]
+
+    def test_incomparable_points_kept(self):
+        points = [(10.0, 5.0), (12.0, 7.0)]
+        front = pareto_front(points, lambda p: p[0], lambda p: p[1])
+        assert len(front) == 2
+
+    def test_sorted_by_cost(self):
+        points = [(12.0, 7.0), (10.0, 5.0), (14.0, 9.0)]
+        front = pareto_front(points, lambda p: p[0], lambda p: p[1])
+        costs = [cost for _, cost in front]
+        assert costs == sorted(costs)
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0, 100, allow_nan=False), st.floats(0, 100, allow_nan=False)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=150)
+    def test_front_is_non_dominated(self, points):
+        front = pareto_front(points, lambda p: p[0], lambda p: p[1])
+        assert front  # never empty for non-empty input
+        for member in front:
+            for other in points:
+                strictly_better = (
+                    other[0] >= member[0]
+                    and other[1] <= member[1]
+                    and (other[0] > member[0] or other[1] < member[1])
+                )
+                assert not strictly_better
+
+
+class TestReportHelpers:
+    @pytest.fixture(scope="class")
+    def reports(self, roomy_board):
+        from tests.conftest import build_tiny_cnn
+
+        return sweep(build_tiny_cnn(), roomy_board, ce_counts=[2, 3, 4])
+
+    def test_report_front_subset(self, reports):
+        front = report_front(reports, "buffers")
+        assert set(r.accelerator_name for r in front) <= set(
+            r.accelerator_name for r in reports
+        )
+
+    def test_scatter_points_units(self, reports):
+        points = scatter_points(reports, "buffers")
+        for (name, fps, cost_mib), report in zip(points, reports):
+            assert name == report.accelerator_name
+            assert fps == report.throughput_fps
+            assert cost_mib == pytest.approx(report.buffer_requirement_bytes / 2**20)
+
+    def test_dominates_relation(self, reports):
+        for a in reports:
+            assert not dominates(a, a)

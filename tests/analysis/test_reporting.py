@@ -1,0 +1,102 @@
+"""Tests for the Table I / Table V reporting helpers."""
+
+import pytest
+
+from repro.analysis.reporting import (
+    HEADLINE_METRICS,
+    MetricWinners,
+    architecture_of,
+    best_architecture_table,
+    best_instances,
+    ce_count_of,
+    comparison_table,
+    normalized_comparison,
+    winners_with_ties,
+)
+from repro.api import sweep
+
+
+@pytest.fixture(scope="module")
+def reports(zc706):
+    from tests.conftest import build_tiny_cnn
+
+    return sweep(build_tiny_cnn(), zc706, ce_counts=[2, 3, 4])
+
+
+class TestNameParsing:
+    def test_architecture_of(self, reports):
+        assert architecture_of(reports[0]) in {"Segmented", "SegmentedRR", "Hybrid"}
+
+    def test_ce_count_of(self, reports):
+        for report in reports:
+            assert ce_count_of(report) in (2, 3, 4)
+
+
+class TestBestInstances:
+    def test_latency_sorted_ascending(self, reports):
+        ranked = best_instances(reports, "latency")
+        values = [r.latency_seconds for r in ranked]
+        assert values == sorted(values)
+
+    def test_throughput_sorted_descending(self, reports):
+        ranked = best_instances(reports, "throughput")
+        values = [r.throughput_fps for r in ranked]
+        assert values == sorted(values, reverse=True)
+
+    def test_empty(self):
+        assert best_instances([], "latency") == []
+
+
+class TestWinners:
+    def test_winner_is_overall_best(self, reports):
+        winners = winners_with_ties(reports, "latency")
+        best = best_instances(reports, "latency")[0]
+        assert (architecture_of(best), ce_count_of(best)) in winners.winners
+
+    def test_tie_rule_includes_close_seconds(self, reports):
+        # With a huge threshold every family ties.
+        winners = winners_with_ties(reports, "latency", tie_threshold=1000.0)
+        assert len(winners.architectures()) == len(
+            {architecture_of(r) for r in reports}
+        )
+
+    def test_zero_threshold_strict(self, reports):
+        winners = winners_with_ties(reports, "latency", tie_threshold=0.0)
+        assert len(winners.winners) >= 1
+
+    def test_throughput_direction(self, reports):
+        winners = winners_with_ties(reports, "throughput")
+        best_fps = max(r.throughput_fps for r in reports)
+        assert winners.best_value == best_fps
+
+    def test_raises_on_empty(self):
+        with pytest.raises(ValueError):
+            winners_with_ties([], "latency")
+
+
+class TestNormalizedComparison:
+    def test_best_scores_one(self, reports):
+        table = normalized_comparison(reports)
+        for metric in ("latency", "buffers", "access"):
+            values = [row[metric] for row in table.values()]
+            assert min(values) == pytest.approx(1.0)
+            assert all(v >= 1.0 for v in values)
+
+    def test_table_renders(self, reports):
+        text = comparison_table(reports)
+        assert "latency" in text
+        for report in reports:
+            assert report.accelerator_name in text
+
+
+class TestBestArchitectureTable:
+    def test_renders_grid(self, reports):
+        text = best_architecture_table({("zc706", "tiny"): reports})
+        for metric in HEADLINE_METRICS:
+            assert metric in text
+
+    def test_metric_winners_dataclass(self):
+        winners = MetricWinners(
+            metric="latency", best_value=1.0, winners=(("Hybrid", 2), ("Hybrid", 3))
+        )
+        assert winners.architectures() == ["Hybrid"]

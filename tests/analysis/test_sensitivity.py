@@ -1,0 +1,105 @@
+"""Tests for resource sensitivity analysis."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    RESOURCES,
+    scaled_board,
+    sensitivity_profile,
+)
+from repro.core.architectures import segmented_rr
+from repro.core.builder import MultipleCEBuilder
+
+
+@pytest.fixture(scope="module")
+def profile(zc706):
+    from tests.conftest import build_tiny_cnn
+
+    cnn = build_tiny_cnn()
+    builder = MultipleCEBuilder(cnn, zc706)
+    spec = segmented_rr(builder.conv_specs, 2)
+    return sensitivity_profile(cnn, zc706, spec, factors=(0.5, 1.0, 2.0))
+
+
+class TestScaledBoard:
+    def test_pes(self, zc706):
+        assert scaled_board(zc706, "pes", 2.0).dsp_count == 1800
+
+    def test_bram(self, zc706):
+        assert scaled_board(zc706, "bram", 0.5).bram_bytes == zc706.bram_bytes // 2
+
+    def test_bandwidth(self, zc706):
+        assert scaled_board(zc706, "bandwidth", 2.0).bandwidth_gbps == pytest.approx(6.4)
+
+    def test_unknown_resource(self, zc706):
+        with pytest.raises(KeyError):
+            scaled_board(zc706, "luts", 1.0)
+
+    def test_rejects_nonpositive_factor(self, zc706):
+        with pytest.raises(ValueError):
+            scaled_board(zc706, "pes", 0.0)
+
+    def test_name_annotated(self, zc706):
+        assert "x2" in scaled_board(zc706, "pes", 2.0).name
+
+
+class TestProfile:
+    def test_covers_all_resources(self, profile):
+        resources = {point.resource for point in profile.points}
+        assert resources == set(RESOURCES)
+
+    def test_series_sorted(self, profile):
+        series = profile.series("pes", "latency")
+        factors = [factor for factor, _ in series]
+        assert factors == sorted(factors)
+        assert 1.0 in factors
+
+    def test_more_pes_never_hurts_latency(self, profile):
+        series = profile.series("pes", "latency")
+        values = [value for _, value in series]
+        assert values == sorted(values, reverse=True)
+
+    def test_more_bandwidth_never_hurts_latency(self, profile):
+        series = profile.series("bandwidth", "latency")
+        values = [value for _, value in series]
+        assert values == sorted(values, reverse=True)
+
+    def test_bram_scaling_does_not_change_requirement(self, profile):
+        series = profile.series("bram", "buffers")
+        values = {value for _, value in series}
+        # The Eq. 4/5 requirement is a property of the design, not the board.
+        assert len(values) == 1
+
+    def test_elasticities_signed_sensibly(self, profile):
+        # On bandwidth-starved ZC706, SegmentedRR latency responds to
+        # bandwidth strongly and negatively.
+        assert profile.elasticity("bandwidth", "latency") < 0.0
+
+    def test_dominant_resource_identified(self, profile):
+        # TinyNet's weights are small: compute (PEs) dominates on ZC706.
+        assert profile.dominant_resource("latency") == "pes"
+
+    def test_weight_heavy_cnn_is_bandwidth_bound(self, zc706, resnet50):
+        # ResNet50's 51 MB of weights on a 3.2 GB/s board: bandwidth rules.
+        builder = MultipleCEBuilder(resnet50, zc706)
+        spec = segmented_rr(builder.conv_specs, 2)
+        profile = sensitivity_profile(
+            resnet50, zc706, spec, factors=(0.5, 1.0, 2.0), resources=("pes", "bandwidth")
+        )
+        assert profile.dominant_resource("latency") == "bandwidth"
+
+    def test_table_renders(self, profile):
+        text = profile.table("latency")
+        assert "elasticity" in text and "bandwidth" in text
+
+    def test_elasticity_needs_two_points(self, zc706):
+        from tests.conftest import build_tiny_cnn
+
+        cnn = build_tiny_cnn()
+        builder = MultipleCEBuilder(cnn, zc706)
+        spec = segmented_rr(builder.conv_specs, 2)
+        single = sensitivity_profile(
+            cnn, zc706, spec, factors=(1.0,), resources=("pes",)
+        )
+        with pytest.raises(ValueError):
+            single.elasticity("pes", "latency")

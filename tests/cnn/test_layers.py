@@ -1,0 +1,191 @@
+"""Tests for the CNN layer IR: shapes, MACs, weights."""
+
+import pytest
+
+from repro.cnn.layers import (
+    AddLayer,
+    ConcatLayer,
+    ConvLayer,
+    DenseLayer,
+    DepthwiseConvLayer,
+    GlobalPoolLayer,
+    LayerKind,
+    Padding,
+    PoolLayer,
+    TensorShape,
+    conv_output_size,
+)
+from repro.utils.errors import ShapeError
+
+
+class TestTensorShape:
+    def test_elements(self):
+        assert TensorShape(4, 5, 6).elements == 120
+
+    def test_rejects_zero_dim(self):
+        with pytest.raises(ShapeError):
+            TensorShape(0, 5, 6)
+
+    def test_with_channels(self):
+        assert TensorShape(4, 4, 3).with_channels(8) == TensorShape(4, 4, 8)
+
+    def test_str(self):
+        assert str(TensorShape(7, 7, 512)) == "7x7x512"
+
+
+class TestConvOutputSize:
+    def test_same_stride1(self):
+        assert conv_output_size(224, 3, 1, Padding.SAME) == 224
+
+    def test_same_stride2(self):
+        assert conv_output_size(224, 3, 2, Padding.SAME) == 112
+
+    def test_same_odd_input_stride2(self):
+        assert conv_output_size(7, 3, 2, Padding.SAME) == 4
+
+    def test_valid(self):
+        assert conv_output_size(224, 3, 1, Padding.VALID) == 222
+
+    def test_valid_stride(self):
+        assert conv_output_size(227, 11, 4, Padding.VALID) == 55
+
+    def test_valid_kernel_too_big(self):
+        with pytest.raises(ShapeError):
+            conv_output_size(2, 3, 1, Padding.VALID)
+
+
+class TestConvLayer:
+    def make(self, **kwargs):
+        defaults = dict(
+            name="c",
+            input_shape=TensorShape(56, 56, 64),
+            filters=128,
+            kernel_size=(3, 3),
+        )
+        defaults.update(kwargs)
+        return ConvLayer(**defaults)
+
+    def test_output_shape(self):
+        assert self.make().output_shape == TensorShape(56, 56, 128)
+
+    def test_strided_output(self):
+        layer = self.make(strides=(2, 2))
+        assert layer.output_shape == TensorShape(28, 28, 128)
+
+    def test_kind_standard(self):
+        assert self.make().kind is LayerKind.STANDARD_CONV
+
+    def test_kind_pointwise(self):
+        assert self.make(kernel_size=(1, 1)).kind is LayerKind.POINTWISE_CONV
+
+    def test_macs(self):
+        layer = self.make()
+        assert layer.macs == 56 * 56 * 128 * 64 * 9
+
+    def test_weights(self):
+        assert self.make().weight_count == 128 * 64 * 9
+
+    def test_grouped_weights(self):
+        layer = self.make(groups=2)
+        assert layer.weight_count == 128 * 32 * 9
+        assert layer.macs == 56 * 56 * 128 * 32 * 9
+
+    def test_groups_must_divide_channels(self):
+        with pytest.raises(ShapeError):
+            self.make(groups=3)
+
+    def test_groups_must_divide_filters(self):
+        with pytest.raises(ShapeError):
+            self.make(filters=127, groups=2)
+
+    def test_rejects_nonpositive_filters(self):
+        with pytest.raises(ShapeError):
+            self.make(filters=0)
+
+    def test_loop_dimensions(self):
+        layer = self.make()
+        assert layer.loop_filters == 128
+        assert layer.loop_channels == 64
+        assert layer.loop_out_height == 56
+        assert layer.loop_out_width == 56
+        assert layer.loop_kernel_height == 3
+        assert layer.loop_kernel_width == 3
+
+    def test_describe_fields(self):
+        info = self.make().describe()
+        assert info["filters"] == 128
+        assert info["kind"] == "conv"
+
+
+class TestDepthwiseConvLayer:
+    def make(self, **kwargs):
+        defaults = dict(name="dw", input_shape=TensorShape(28, 28, 96))
+        defaults.update(kwargs)
+        return DepthwiseConvLayer(**defaults)
+
+    def test_output_preserves_channels(self):
+        assert self.make().output_shape == TensorShape(28, 28, 96)
+
+    def test_depth_multiplier(self):
+        layer = self.make(depth_multiplier=2)
+        assert layer.output_shape.channels == 192
+
+    def test_macs(self):
+        layer = self.make()
+        assert layer.macs == 28 * 28 * 96 * 9
+
+    def test_weights(self):
+        assert self.make().weight_count == 96 * 9
+
+    def test_loop_channels_is_one(self):
+        assert self.make().loop_channels == 1
+
+    def test_macs_equal_loop_product_identity(self):
+        layer = self.make()
+        product = (
+            layer.loop_filters
+            * layer.loop_channels
+            * layer.loop_out_height
+            * layer.loop_out_width
+            * layer.loop_kernel_height
+            * layer.loop_kernel_width
+        )
+        assert product == layer.macs
+
+
+class TestOtherLayers:
+    def test_pool_output(self):
+        pool = PoolLayer(name="p", input_shape=TensorShape(56, 56, 64))
+        assert pool.output_shape == TensorShape(28, 28, 64)
+
+    def test_pool_rejects_bad_mode(self):
+        with pytest.raises(ShapeError):
+            PoolLayer(name="p", input_shape=TensorShape(8, 8, 4), mode="median")
+
+    def test_pool_has_no_weights(self):
+        pool = PoolLayer(name="p", input_shape=TensorShape(8, 8, 4))
+        assert pool.weight_count == 0 and pool.macs == 0
+
+    def test_global_pool(self):
+        gap = GlobalPoolLayer(name="g", input_shape=TensorShape(7, 7, 2048))
+        assert gap.output_shape == TensorShape(1, 1, 2048)
+
+    def test_dense(self):
+        fc = DenseLayer(name="fc", input_shape=TensorShape(1, 1, 2048), units=1000)
+        assert fc.output_shape == TensorShape(1, 1, 1000)
+        assert fc.weight_count == 2048 * 1000
+        assert fc.macs == 2048 * 1000
+
+    def test_add_passthrough(self):
+        add = AddLayer(name="a", input_shape=TensorShape(14, 14, 256))
+        assert add.output_shape == TensorShape(14, 14, 256)
+
+    def test_concat_extends_channels(self):
+        concat = ConcatLayer(
+            name="cat", input_shape=TensorShape(14, 14, 256), extra_channels=32
+        )
+        assert concat.output_shape == TensorShape(14, 14, 288)
+
+    def test_concat_rejects_negative_extra(self):
+        with pytest.raises(ShapeError):
+            ConcatLayer(name="cat", input_shape=TensorShape(4, 4, 8), extra_channels=-1)

@@ -1,0 +1,94 @@
+"""JSON serialization round-trip tests."""
+
+import json
+
+import pytest
+
+from repro.cnn.serialize import (
+    graph_from_dict,
+    graph_from_json,
+    graph_to_dict,
+    graph_to_json,
+)
+from repro.cnn.zoo import PAPER_MODELS, load_model
+from repro.utils.errors import ShapeError
+
+
+@pytest.mark.parametrize("name", PAPER_MODELS)
+def test_round_trip_preserves_structure(name):
+    graph = load_model(name)
+    clone = graph_from_json(graph_to_json(graph))
+    assert clone.name == graph.name
+    assert clone.num_conv_layers == graph.num_conv_layers
+    assert clone.total_weights == graph.total_weights
+    assert clone.conv_macs == graph.conv_macs
+
+
+def test_round_trip_preserves_conv_specs(tiny_cnn):
+    clone = graph_from_dict(graph_to_dict(tiny_cnn))
+    for original, copied in zip(tiny_cnn.conv_specs(), clone.conv_specs()):
+        assert original == copied
+
+
+def test_json_is_valid(tiny_cnn):
+    data = json.loads(graph_to_json(tiny_cnn))
+    assert data["name"] == "TinyNet"
+    assert isinstance(data["layers"], list)
+
+
+def test_layers_carry_inputs(tiny_cnn):
+    data = graph_to_dict(tiny_cnn)
+    by_name = {entry["name"]: entry for entry in data["layers"]}
+    assert by_name["res"]["inputs"] == ["c4", "c2"]
+
+
+class TestMalformedInput:
+    def test_missing_name(self):
+        with pytest.raises(ShapeError):
+            graph_from_dict({"layers": [{"name": "in", "kind": "input", "shape": [4, 4, 3]}]})
+
+    def test_missing_layers(self):
+        with pytest.raises(ShapeError):
+            graph_from_dict({"name": "empty"})
+
+    def test_unknown_kind(self):
+        with pytest.raises(ShapeError):
+            graph_from_dict(
+                {
+                    "name": "bad",
+                    "layers": [
+                        {"name": "in", "kind": "input", "shape": [4, 4, 3]},
+                        {"name": "x", "kind": "warp", "inputs": ["in"], "shape": [4, 4, 3]},
+                    ],
+                }
+            )
+
+    def test_bad_shape(self):
+        with pytest.raises(ShapeError):
+            graph_from_dict(
+                {"name": "bad", "layers": [{"name": "in", "kind": "input", "shape": [4, 4]}]}
+            )
+
+    def test_missing_layer_name(self):
+        with pytest.raises(ShapeError):
+            graph_from_dict(
+                {"name": "bad", "layers": [{"kind": "input", "shape": [4, 4, 3]}]}
+            )
+
+    def test_shape_inconsistency_caught(self):
+        with pytest.raises(ShapeError):
+            graph_from_dict(
+                {
+                    "name": "bad",
+                    "layers": [
+                        {"name": "in", "kind": "input", "shape": [4, 4, 3]},
+                        {
+                            "name": "c",
+                            "kind": "conv",
+                            "inputs": ["in"],
+                            "input_shape": [4, 4, 7],
+                            "filters": 8,
+                        },
+                    ],
+                }
+            )

@@ -1,0 +1,108 @@
+"""Zoo tests: every model matches the paper's Table III characteristics."""
+
+import pytest
+
+from repro.cnn.stats import collect_stats
+from repro.cnn.zoo import (
+    ABBREVIATIONS,
+    PAPER_MODELS,
+    available_models,
+    load_model,
+)
+
+# Table III reference values: (conv layers, weights in millions).
+TABLE_III = {
+    "resnet152": (155, 60.4),
+    "resnet50": (53, 25.6),
+    "xception": (74, 22.9),
+    "densenet121": (120, 8.1),
+    "mobilenetv2": (52, 3.5),
+}
+
+
+class TestRegistry:
+    def test_available_models_sorted(self):
+        models = available_models()
+        assert models == sorted(models)
+        assert "resnet50" in models
+
+    def test_paper_models_all_available(self):
+        for name in PAPER_MODELS:
+            assert name in available_models()
+
+    def test_abbreviations_resolve(self):
+        for abbrev, full in ABBREVIATIONS.items():
+            assert load_model(abbrev).name == load_model(full).name
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            load_model("alexnet9000")
+
+    def test_cache_returns_same_object(self):
+        assert load_model("resnet50") is load_model("resnet50")
+
+    def test_case_insensitive(self):
+        assert load_model("ResNet50") is load_model("resnet50")
+
+
+@pytest.mark.parametrize("name", list(TABLE_III))
+class TestTableIII:
+    def test_conv_layer_count(self, name):
+        expected_layers, _ = TABLE_III[name]
+        assert load_model(name).num_conv_layers == expected_layers
+
+    def test_weight_count_close_to_paper(self, name):
+        # 3% tolerance: Table III counts include batch-norm parameters,
+        # which the conv/dense-only IR does not model.
+        _, expected_millions = TABLE_III[name]
+        stats = collect_stats(load_model(name))
+        assert stats.weights_millions == pytest.approx(expected_millions, rel=0.03)
+
+
+@pytest.mark.parametrize("name", PAPER_MODELS + ["vgg16", "alexnet"])
+class TestModelWellFormed:
+    def test_validates(self, name):
+        load_model(name).validate()
+
+    def test_positive_macs(self, name):
+        assert load_model(name).conv_macs > 0
+
+    def test_conv_specs_consistent(self, name):
+        graph = load_model(name)
+        specs = graph.conv_specs()
+        assert len(specs) == graph.num_conv_layers
+        assert sum(spec.macs for spec in specs) == graph.conv_macs
+        assert sum(spec.weight_count for spec in specs) == graph.conv_weights
+
+
+class TestSpecifics:
+    def test_mobilenet_has_depthwise(self):
+        stats = collect_stats(load_model("mobilenetv2"))
+        assert stats.has_depthwise
+
+    def test_resnet_has_no_depthwise(self):
+        stats = collect_stats(load_model("resnet50"))
+        assert not stats.has_depthwise
+
+    def test_xception_mostly_separable(self):
+        stats = collect_stats(load_model("xception"))
+        assert stats.conv_kind_counts.get("dwconv", 0) >= 30
+
+    def test_resnet50_macs_about_3_8_gmacs(self):
+        # Reference: ~3.8 GMACs per 224x224 inference.
+        stats = collect_stats(load_model("resnet50"))
+        assert stats.gmacs == pytest.approx(3.8, rel=0.05)
+
+    def test_resnet152_deeper_than_resnet50(self):
+        assert (
+            load_model("resnet152").conv_macs > 2.5 * load_model("resnet50").conv_macs
+        )
+
+    def test_densenet_residuals_via_concat(self):
+        graph = load_model("densenet121")
+        kinds = {layer.kind.value for layer in graph.topological_order()}
+        assert "concat" in kinds
+
+    def test_vgg16_weight_heavy(self):
+        stats = collect_stats(load_model("vgg16"))
+        assert stats.weights_millions > 100

@@ -1,0 +1,73 @@
+"""Tests for the non-paper zoo extras (EfficientNet-Lite0, SqueezeNet)."""
+
+import pytest
+
+from repro.api import evaluate
+from repro.cnn.stats import collect_stats
+from repro.cnn.zoo import load_model
+
+
+class TestEfficientNetLite0:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return load_model("efficientnetlite0")
+
+    def test_conv_layer_count(self, graph):
+        # stem + 16 MBConvs (first has 2 convs, rest 3) + head = 49.
+        assert graph.num_conv_layers == 49
+
+    def test_weights_scale(self, graph):
+        stats = collect_stats(graph)
+        assert 3.5 < stats.weights_millions < 5.5
+
+    def test_has_depthwise(self, graph):
+        assert collect_stats(graph).has_depthwise
+
+    def test_shares_mbconv_structure_with_mobilenet(self, graph):
+        # The generalization claim: same block kinds as MobileNetV2.
+        mobilenet = load_model("mobilenetv2")
+        assert set(collect_stats(graph).conv_kind_counts) == set(
+            collect_stats(mobilenet).conv_kind_counts
+        )
+
+    def test_abbreviation(self, graph):
+        assert load_model("efflite0") is graph
+
+    def test_evaluates_end_to_end(self):
+        report = evaluate("efficientnetlite0", "zc706", "hybrid", ce_count=4)
+        assert report.throughput_fps > 0
+
+
+class TestSqueezeNet:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return load_model("squeezenet")
+
+    def test_conv_layer_count(self, graph):
+        # conv1 + 8 fire modules x 3 convs + conv10 = 26.
+        assert graph.num_conv_layers == 26
+
+    def test_weights_tiny(self, graph):
+        stats = collect_stats(graph)
+        assert stats.weights_millions < 1.5
+
+    def test_no_dense_layers(self, graph):
+        kinds = {layer.kind.value for layer in graph.topological_order()}
+        assert "dense" not in kinds
+
+    def test_fire_concat_widths(self, graph):
+        # fire1's concat merges two 64-channel expands into 128 channels.
+        assert graph.layer("fire1_concat").output_shape.channels == 128
+
+    def test_expand_branches_share_squeeze_input(self, graph):
+        assert graph.predecessors("fire1_e1") == ["fire1_squeeze"]
+        assert graph.predecessors("fire1_e3") == ["fire1_squeeze"]
+
+    def test_squeeze_feeds_two_consumers(self, graph):
+        specs = {spec.name: spec for spec in graph.conv_specs()}
+        assert specs["fire1_squeeze"].fms_copies == 2
+
+    def test_evaluates_end_to_end(self):
+        report = evaluate("squeezenet", "zc706", "segmentedrr", ce_count=3)
+        assert report.throughput_fps > 0
+        assert report.accesses.total_bytes > 0

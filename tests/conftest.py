@@ -1,0 +1,84 @@
+"""Shared fixtures: a small synthetic CNN, boards, and cached zoo models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cnn.zoo import load_model
+from repro.cnn.zoo.common import NetBuilder
+from repro.hw.boards import FPGABoard, get_board
+from repro.hw.datatypes import DEFAULT_PRECISION
+
+
+def build_tiny_cnn():
+    """An 8-conv-layer CNN with one residual add, small enough for fast tests."""
+    net = NetBuilder("TinyNet", (32, 32, 3))
+    net.conv(16, kernel=3, stride=2, name="c1")
+    entry = net.conv(32, kernel=3, name="c2")
+    net.conv(32, kernel=1, name="c3", source=entry)
+    main = net.conv(32, kernel=3, name="c4")
+    net.residual_add(main, entry, name="res")
+    net.conv(64, kernel=3, stride=2, name="c5")
+    net.dwconv(kernel=3, name="c6_dw")
+    net.conv(64, kernel=1, name="c6_pw")
+    net.conv(128, kernel=3, stride=2, name="c7")
+    net.global_pool(name="gap")
+    net.dense(10, name="fc")
+    return net.build()
+
+
+@pytest.fixture(scope="session")
+def tiny_cnn():
+    return build_tiny_cnn()
+
+
+@pytest.fixture(scope="session")
+def tiny_specs(tiny_cnn):
+    return tiny_cnn.conv_specs()
+
+
+@pytest.fixture(scope="session")
+def small_board():
+    """A small FPGA budget that forces buffer pressure in tests."""
+    return FPGABoard(
+        name="testboard",
+        dsp_count=128,
+        bram_bytes=256 * 1024,
+        bandwidth_gbps=2.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def roomy_board():
+    """A budget large enough that everything fits on-chip."""
+    return FPGABoard(
+        name="roomyboard",
+        dsp_count=1024,
+        bram_bytes=64 * 1024 * 1024,
+        bandwidth_gbps=25.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def zc706():
+    return get_board("zc706")
+
+
+@pytest.fixture(scope="session")
+def vcu108():
+    return get_board("vcu108")
+
+
+@pytest.fixture(scope="session")
+def resnet50():
+    return load_model("resnet50")
+
+
+@pytest.fixture(scope="session")
+def mobilenetv2():
+    return load_model("mobilenetv2")
+
+
+@pytest.fixture(scope="session")
+def precision():
+    return DEFAULT_PRECISION

@@ -1,0 +1,101 @@
+"""Tests for the three architecture templates."""
+
+import pytest
+
+from repro.core.architectures import (
+    PAPER_ARCHITECTURES,
+    PAPER_CE_COUNTS,
+    build_template,
+    hybrid,
+    segmented,
+    segmented_rr,
+)
+from repro.utils.errors import ResourceError
+
+
+class TestSegmented:
+    def test_block_count_equals_ce_count(self, tiny_specs):
+        spec = segmented(tiny_specs, 3)
+        assert len(spec.blocks) == 3
+        assert spec.total_ces == 3
+
+    def test_all_blocks_single_ce(self, tiny_specs):
+        spec = segmented(tiny_specs, 4)
+        assert all(block.ce_count == 1 for block in spec.blocks)
+
+    def test_coarse_pipelined(self, tiny_specs):
+        assert segmented(tiny_specs, 2).coarse_pipelined
+
+    def test_resolves_against_cnn(self, tiny_specs):
+        spec = segmented(tiny_specs, 3).resolved(len(tiny_specs))
+        assert spec.blocks[-1].end_layer == len(tiny_specs)
+
+    def test_rejects_single_ce(self, tiny_specs):
+        with pytest.raises(ResourceError):
+            segmented(tiny_specs, 1)
+
+
+class TestSegmentedRR:
+    def test_one_pipelined_block(self, tiny_specs):
+        spec = segmented_rr(tiny_specs, 4)
+        assert len(spec.blocks) == 1
+        assert spec.blocks[0].ce_count == 4
+
+    def test_not_coarse_pipelined(self, tiny_specs):
+        assert not segmented_rr(tiny_specs, 2).coarse_pipelined
+
+    def test_covers_all_layers(self, tiny_specs):
+        spec = segmented_rr(tiny_specs, 2)
+        assert spec.blocks[0].start_layer == 1
+        assert spec.blocks[0].end_layer == len(tiny_specs)
+
+    def test_rejects_more_ces_than_layers(self, tiny_specs):
+        with pytest.raises(ResourceError):
+            segmented_rr(tiny_specs, len(tiny_specs) + 1)
+
+
+class TestHybrid:
+    def test_two_blocks(self, tiny_specs):
+        spec = hybrid(tiny_specs, 4)
+        assert len(spec.blocks) == 2
+        assert spec.blocks[0].is_pipelined
+        assert spec.blocks[0].ce_count == 3
+        assert spec.blocks[1].ce_count == 1
+
+    def test_two_ces_pipelines_first_layer(self, tiny_specs):
+        spec = hybrid(tiny_specs, 2)
+        assert spec.blocks[0].num_layers == 1
+
+    def test_total_ces(self, tiny_specs):
+        assert hybrid(tiny_specs, 6).total_ces == 6
+
+    def test_coarse_pipelined(self, tiny_specs):
+        assert hybrid(tiny_specs, 3).coarse_pipelined
+
+    def test_rejects_single_ce(self, tiny_specs):
+        with pytest.raises(ResourceError):
+            hybrid(tiny_specs, 1)
+
+
+class TestRegistry:
+    def test_paper_architecture_list(self):
+        assert PAPER_ARCHITECTURES == ["segmented", "segmentedrr", "hybrid"]
+
+    def test_paper_ce_counts(self):
+        assert PAPER_CE_COUNTS == list(range(2, 12))
+
+    def test_build_template_dispatch(self, tiny_specs):
+        assert build_template("Segmented", tiny_specs, 2).name.startswith("Segmented")
+        assert build_template("segmentedrr", tiny_specs, 2).blocks[0].is_pipelined
+
+    def test_unknown_template(self, tiny_specs):
+        with pytest.raises(KeyError):
+            build_template("mesh", tiny_specs, 2)
+
+    @pytest.mark.parametrize("name", PAPER_ARCHITECTURES)
+    @pytest.mark.parametrize("count", [2, 5, 8])
+    def test_all_templates_resolve(self, name, count, tiny_specs):
+        spec = build_template(name, tiny_specs, count)
+        resolved = spec.resolved(len(tiny_specs))
+        covered = sum(block.num_layers for block in resolved.blocks)
+        assert covered == len(tiny_specs)

@@ -1,0 +1,133 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["destroy"])
+
+
+class TestEvaluate:
+    def test_summary_output(self, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--model", "mobilenetv2",
+                "--board", "zc706",
+                "--arch", "segmentedrr",
+                "--ces", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SegmentedRR-2" in out and "FPS" in out
+
+    def test_json_output(self, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--model", "mobilenetv2",
+                "--board", "zc706",
+                "--arch", "hybrid",
+                "--ces", "3",
+                "--json",
+            ]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["accelerator"] == "Hybrid-3"
+        assert data["throughput_fps"] > 0
+
+    def test_notation_arch(self, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--model", "mobilenetv2",
+                "--board", "zc706",
+                "--arch", "{L1-L10: CE1, L11-Last: CE2}",
+            ]
+        )
+        assert code == 0
+        assert "L11-L52" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_table(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--model", "mobilenetv2",
+                "--board", "zc706",
+                "--min-ces", "2",
+                "--max-ces", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Segmented-2" in out and "latency" in out
+
+    def test_csv(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--model", "mobilenetv2",
+                "--board", "zc706",
+                "--arch", "hybrid",
+                "--min-ces", "2",
+                "--max-ces", "4",
+                "--csv",
+            ]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("accelerator,")
+        assert len(lines) == 4  # header + 3 instances
+
+
+class TestOtherCommands:
+    def test_validate(self, capsys):
+        code = main(
+            [
+                "validate",
+                "--model", "mobilenetv2",
+                "--board", "vcu108",
+                "--arch", "segmentedrr",
+                "--ces", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accesses" in out and "100.0%" in out
+
+    def test_dse(self, capsys):
+        code = main(
+            [
+                "dse",
+                "--model", "mobilenetv2",
+                "--board", "zc706",
+                "--samples", "20",
+                "--seed", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "designs" in out and "Custom-" in out
+
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        assert "resnet50" in capsys.readouterr().out.lower()
+
+    def test_boards(self, capsys):
+        assert main(["boards"]) == 0
+        out = capsys.readouterr().out
+        assert "zcu102" in out and "2520" in out

@@ -1,0 +1,97 @@
+"""Tests for the BRAM allocation policy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost.allocation import allocate_onchip
+
+
+class TestAllocateOnchip:
+    def test_everything_fits(self):
+        plan = allocate_onchip(
+            capacity_bytes=1000,
+            mandatory_bytes=[100, 100],
+            ideal_bytes=[200, 300],
+            inter_segment_bytes=[50],
+            inter_segment_copies=2,
+        )
+        assert plan.fits_onchip
+        assert plan.block_bytes == (200, 300)
+        assert plan.inter_segment_onchip == (True,)
+
+    def test_ideal_capped(self):
+        plan = allocate_onchip(
+            capacity_bytes=10_000,
+            mandatory_bytes=[10],
+            ideal_bytes=[100],
+            inter_segment_bytes=[],
+            inter_segment_copies=2,
+        )
+        # Extra BRAM beyond the ideal buys nothing.
+        assert plan.block_bytes == (100,)
+
+    def test_mandatory_always_granted(self):
+        plan = allocate_onchip(
+            capacity_bytes=250,
+            mandatory_bytes=[100, 100],
+            ideal_bytes=[500, 500],
+            inter_segment_bytes=[400],
+            inter_segment_copies=2,
+        )
+        assert not plan.fits_onchip
+        assert plan.block_bytes[0] >= 100
+        assert plan.block_bytes[1] >= 100
+        assert plan.inter_segment_onchip == (False,)
+
+    def test_small_interfaces_kept_first(self):
+        plan = allocate_onchip(
+            capacity_bytes=300,
+            mandatory_bytes=[50],
+            ideal_bytes=[50],
+            inter_segment_bytes=[200, 10, 400],
+            inter_segment_copies=1,
+        )
+        assert plan.inter_segment_onchip == (True, True, False)
+
+    def test_double_buffering_costs_twice(self):
+        single = allocate_onchip(100, [10], [10], [45], inter_segment_copies=1)
+        double = allocate_onchip(100, [10], [10], [45], inter_segment_copies=2)
+        assert single.inter_segment_onchip == (True,)
+        assert double.inter_segment_onchip == (True,)
+        tight = allocate_onchip(90, [10], [10], [45], inter_segment_copies=2)
+        assert tight.inter_segment_onchip == (False,)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            allocate_onchip(0, [1], [1], [], 2)
+
+    def test_rejects_misaligned_lists(self):
+        with pytest.raises(ValueError):
+            allocate_onchip(100, [1, 2], [1], [], 2)
+
+    @given(
+        st.integers(1, 10**7),
+        st.lists(
+            st.tuples(st.integers(0, 10**5), st.integers(0, 10**6)),
+            min_size=1,
+            max_size=6,
+        ),
+        st.lists(st.integers(0, 10**5), max_size=5),
+        st.sampled_from([1, 2]),
+    )
+    @settings(max_examples=200)
+    def test_invariants(self, capacity, blocks, interfaces, copies):
+        mandatory = [min(m, i) for m, i in blocks]
+        ideal = [max(m, i) for m, i in blocks]
+        plan = allocate_onchip(capacity, mandatory, ideal, interfaces, copies)
+        # Every block sits between its floor and its ideal.
+        for allocated, floor, ceiling in zip(plan.block_bytes, mandatory, ideal):
+            assert floor <= allocated <= max(floor, ceiling)
+        # fits flag is exact.
+        total_ideal = sum(ideal) + copies * sum(interfaces)
+        assert plan.fits_onchip == (total_ideal <= capacity)
+        # When everything fits, everything is granted in full.
+        if plan.fits_onchip:
+            assert plan.block_bytes == tuple(ideal)
+            assert all(plan.inter_segment_onchip)

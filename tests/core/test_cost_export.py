@@ -1,0 +1,86 @@
+"""Tests for report export and batch latency."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.api import evaluate, sweep
+from repro.core.cost.export import (
+    CSV_COLUMNS,
+    batch_latency_seconds,
+    report_to_dict,
+    report_to_json,
+    reports_to_csv,
+)
+
+
+@pytest.fixture(scope="module")
+def report(roomy_board):
+    from tests.conftest import build_tiny_cnn
+
+    return evaluate(build_tiny_cnn(), roomy_board, "segmented", ce_count=3)
+
+
+class TestJsonExport:
+    def test_round_trips_through_json(self, report):
+        data = json.loads(report_to_json(report))
+        assert data["accelerator"] == report.accelerator_name
+        assert data["access_bytes"]["total"] == report.accesses.total_bytes
+
+    def test_segments_serialized(self, report):
+        data = report_to_dict(report)
+        assert len(data["segments"]) == len(report.segments)
+        assert data["segments"][0]["layers"] == list(report.segments[0].layer_indices)
+
+    def test_blocks_serialized(self, report):
+        data = report_to_dict(report)
+        assert len(data["blocks"]) == len(report.blocks)
+        assert data["blocks"][0]["kind"] in ("single", "pipelined", "dual")
+
+    def test_derived_values_consistent(self, report):
+        data = report_to_dict(report)
+        assert data["throughput_fps"] == pytest.approx(report.throughput_fps)
+        assert data["latency_ms"] == pytest.approx(report.latency_ms)
+
+
+class TestCsvExport:
+    def test_header_and_rows(self, roomy_board):
+        from tests.conftest import build_tiny_cnn
+
+        reports = sweep(build_tiny_cnn(), roomy_board, ce_counts=[2, 3])
+        text = reports_to_csv(reports)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == CSV_COLUMNS
+        assert len(rows) == len(reports) + 1
+
+    def test_values_parse_back(self, report):
+        text = reports_to_csv([report])
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert rows[0]["accelerator"] == report.accelerator_name
+        assert float(rows[0]["throughput_fps"]) == pytest.approx(
+            report.throughput_fps, rel=0.01
+        )
+
+    def test_empty_is_header_only(self):
+        rows = list(csv.reader(io.StringIO(reports_to_csv([]))))
+        assert rows == [CSV_COLUMNS]
+
+
+class TestBatchLatency:
+    def test_batch_one_is_latency(self, report):
+        assert batch_latency_seconds(report, 1) == pytest.approx(report.latency_seconds)
+
+    def test_large_batch_approaches_interval(self, report):
+        per_image = batch_latency_seconds(report, 10_000)
+        interval_seconds = report.throughput_interval_cycles / report.clock_hz
+        assert per_image == pytest.approx(interval_seconds, rel=0.01)
+
+    def test_monotone_decreasing(self, report):
+        values = [batch_latency_seconds(report, n) for n in (1, 2, 4, 16, 64)]
+        assert values == sorted(values, reverse=True)
+
+    def test_rejects_bad_batch(self, report):
+        with pytest.raises(ValueError):
+            batch_latency_seconds(report, 0)

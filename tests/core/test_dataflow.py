@@ -1,0 +1,65 @@
+"""Tests for dataflows and derived buffer tiles."""
+
+from repro.core.dataflow import (
+    DEFAULT_DATAFLOW,
+    Dataflow,
+    ifm_row_elements,
+    ofm_row_elements,
+    weights_tile_elements,
+)
+from repro.core.parallelism import Dimension, ParallelismStrategy
+from tests.core.test_parallelism import make_spec
+
+
+class TestWeightsTile:
+    def test_ws_keeps_all_weights(self):
+        spec = make_spec(k=32, c=16)
+        strategy = ParallelismStrategy.from_dict({Dimension.FILTERS: 4})
+        assert (
+            weights_tile_elements(spec, strategy, Dataflow.WEIGHT_STATIONARY)
+            == spec.weight_count
+        )
+
+    def test_os_keeps_unrolled_filters(self):
+        spec = make_spec(k=32, c=16, r=3, s=3)
+        strategy = ParallelismStrategy.from_dict({Dimension.FILTERS: 4})
+        assert (
+            weights_tile_elements(spec, strategy, Dataflow.OUTPUT_STATIONARY)
+            == 4 * 16 * 9
+        )
+
+    def test_is_matches_os(self):
+        spec = make_spec(k=32, c=16)
+        strategy = ParallelismStrategy.from_dict({Dimension.FILTERS: 8})
+        assert weights_tile_elements(
+            spec, strategy, Dataflow.INPUT_STATIONARY
+        ) == weights_tile_elements(spec, strategy, Dataflow.OUTPUT_STATIONARY)
+
+    def test_tile_never_exceeds_layer(self):
+        spec = make_spec(k=2, c=2, r=1, s=1)
+        strategy = ParallelismStrategy.from_dict({Dimension.FILTERS: 16})
+        for dataflow in Dataflow:
+            assert weights_tile_elements(spec, strategy, dataflow) <= spec.weight_count
+
+    def test_scalar_strategy_keeps_one_filter(self):
+        spec = make_spec(k=32, c=16, r=3, s=3)
+        assert (
+            weights_tile_elements(spec, ParallelismStrategy(), DEFAULT_DATAFLOW)
+            == 16 * 9
+        )
+
+
+class TestRowBuffers:
+    def test_ofm_row(self):
+        spec = make_spec(k=16, w=8)
+        assert ofm_row_elements(spec) == 8 * 16
+
+    def test_ifm_row_band_bounded(self):
+        spec = make_spec(c=8, h=8, w=8, r=3)
+        band = ifm_row_elements(spec)
+        assert 0 < band <= spec.ifm_elements
+
+    def test_ifm_row_band_scales_with_kernel(self):
+        small = make_spec(r=1)
+        big = make_spec(r=5)
+        assert ifm_row_elements(big) >= ifm_row_elements(small)

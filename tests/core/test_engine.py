@@ -1,0 +1,71 @@
+"""Tests for the ComputeEngine abstraction."""
+
+import pytest
+
+from repro.core.dataflow import Dataflow
+from repro.core.engine import ComputeEngine
+from repro.core.parallelism import Dimension, ParallelismStrategy
+from repro.utils.errors import ResourceError
+from tests.core.test_parallelism import make_spec
+
+
+def make_engine(pe_count=16, degrees=None):
+    strategy = ParallelismStrategy.from_dict(degrees or {Dimension.FILTERS: 4})
+    return ComputeEngine(name="CE1", pe_count=pe_count, strategy=strategy)
+
+
+class TestConstruction:
+    def test_rejects_zero_pes(self):
+        with pytest.raises(ResourceError):
+            make_engine(pe_count=0)
+
+    def test_rejects_parallelism_over_budget(self):
+        with pytest.raises(ResourceError):
+            ComputeEngine(
+                name="CE1",
+                pe_count=8,
+                strategy=ParallelismStrategy.from_dict({Dimension.FILTERS: 16}),
+            )
+
+    def test_fitted_respects_budget(self):
+        engine = ComputeEngine.fitted("CE1", 48, [make_spec(k=32, h=14, w=14)])
+        assert engine.strategy.total_parallelism <= 48
+
+    def test_default_dataflow_is_os(self):
+        assert make_engine().dataflow is Dataflow.OUTPUT_STATIONARY
+
+    def test_describe(self):
+        text = make_engine().describe()
+        assert "CE1" in text and "16 PEs" in text
+
+
+class TestCosts:
+    def test_layer_cycles_match_eq1(self):
+        spec = make_spec(k=16)
+        engine = make_engine(degrees={Dimension.FILTERS: 4})
+        assert engine.layer_cycles(spec) == spec.macs // 4
+
+    def test_total_cycles_is_sum(self):
+        specs = [make_spec(index=0), make_spec(k=32, index=1)]
+        engine = make_engine()
+        assert engine.total_cycles(specs) == sum(engine.layer_cycles(s) for s in specs)
+
+    def test_average_utilization_weighted(self):
+        specs = [make_spec(k=16, index=0), make_spec(k=2, index=1)]
+        engine = make_engine(degrees={Dimension.FILTERS: 4})
+        average = engine.average_utilization(specs)
+        assert 0.0 < average <= 1.0
+        # The K=2 layer halves the filter-unroll utilization, so the
+        # average must sit strictly below the perfect layer's 4/16.
+        assert average < engine.layer_utilization(specs[0], )  # type: ignore[call-arg]
+
+    def test_weights_tile_scales_with_filter_unroll(self):
+        spec = make_spec(k=16, c=8)
+        narrow = make_engine(degrees={Dimension.FILTERS: 2})
+        wide = make_engine(degrees={Dimension.FILTERS: 8})
+        assert wide.weights_tile_elements(spec) == 4 * narrow.weights_tile_elements(spec)
+
+    def test_weights_tile_capped_at_layer_weights(self):
+        spec = make_spec(k=2, c=2, r=1, s=1)
+        engine = make_engine(degrees={Dimension.FILTERS: 4})
+        assert engine.weights_tile_elements(spec) <= spec.weight_count

@@ -1,0 +1,122 @@
+"""Tests for the Section III-B notation parser and spec resolution."""
+
+import pytest
+
+from repro.core.notation import (
+    LAST,
+    ArchitectureSpec,
+    BlockSpec,
+    parse_notation,
+)
+from repro.utils.errors import NotationError
+
+
+class TestParse:
+    def test_paper_segmented_example(self):
+        spec = parse_notation(
+            "{L1-L4: CE1, L5-L6: CE2, L7-L9: CE3, L10-L12: CE4}"
+        )
+        assert len(spec.blocks) == 4
+        assert spec.blocks[0] == BlockSpec(1, 4, 1, ce_id=1)
+        assert spec.blocks[3] == BlockSpec(10, 12, 1, ce_id=4)
+        assert spec.total_ces == 4
+
+    def test_paper_segmentedrr_example(self):
+        spec = parse_notation("{L1-Last: CE1-CE4}")
+        assert len(spec.blocks) == 1
+        assert spec.blocks[0].ce_count == 4
+        assert spec.blocks[0].end_layer == LAST
+
+    def test_single_layer_block(self):
+        spec = parse_notation("{L1: CE1, L2-Last: CE2}")
+        assert spec.blocks[0].start_layer == spec.blocks[0].end_layer == 1
+
+    def test_hybrid_shape(self):
+        spec = parse_notation("{L1-L3: CE1-CE3, L4-Last: CE4}")
+        assert spec.blocks[0].is_pipelined
+        assert not spec.blocks[1].is_pipelined
+
+    def test_case_and_whitespace_insensitive(self):
+        spec = parse_notation("{ l1 - l4 : ce1 , l5 - last : ce2 - ce3 }")
+        assert spec.blocks[0] == BlockSpec(1, 4, 1, ce_id=1)
+        assert spec.blocks[1].ce_count == 2
+
+    def test_name_defaults_to_text(self):
+        text = "{L1-Last: CE1-CE2}"
+        assert parse_notation(text).name == text
+
+    def test_round_trip(self):
+        text = "{L1-L3: CE1-CE3, L4-L9: CE4, L10-Last: CE5}"
+        spec = parse_notation(text)
+        assert parse_notation(spec.to_notation()).blocks == spec.blocks
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "L1-Last: CE1",  # no braces
+            "{}",  # empty
+            "{L1-L4 CE1}",  # missing colon
+            "{L1-L4: CE2}",  # CE ids must start at 1
+            "{L1-L4: CE1, L5-Last: CE3}",  # CE id gap
+            "{L1-L4: CE1, L6-Last: CE2}",  # layer gap
+            "{L1-Last: CE1, L5-L9: CE2}",  # Last not at the end
+            "{L4-L1: CE1}",  # reversed layers
+            "{L1-L4: CE3-CE1}",  # reversed CEs
+            "{L0-L4: CE1}",  # zero-based layer
+        ],
+    )
+    def test_rejects(self, text):
+        with pytest.raises(NotationError):
+            parse_notation(text)
+
+
+class TestBlockSpec:
+    def test_num_layers(self):
+        assert BlockSpec(3, 7, 1).num_layers == 5
+
+    def test_layer_slice(self):
+        assert BlockSpec(3, 7, 1).layer_slice() == slice(2, 7)
+
+    def test_unresolved_last_raises(self):
+        with pytest.raises(NotationError):
+            BlockSpec(1, LAST, 2).num_layers
+
+    def test_rejects_bad_ce_count(self):
+        with pytest.raises(NotationError):
+            BlockSpec(1, 4, 0)
+
+
+class TestResolve:
+    def test_resolves_last(self):
+        spec = parse_notation("{L1-Last: CE1-CE4}").resolved(53)
+        assert spec.blocks[0].end_layer == 53
+        assert spec.blocks[0].num_layers == 53
+
+    def test_validates_full_coverage(self):
+        spec = ArchitectureSpec(
+            name="partial", blocks=(BlockSpec(1, 10, 1),), coarse_pipelined=True
+        )
+        with pytest.raises(NotationError):
+            spec.resolved(20)
+
+    def test_validates_overrun(self):
+        spec = ArchitectureSpec(
+            name="overrun", blocks=(BlockSpec(1, 30, 1),), coarse_pipelined=True
+        )
+        with pytest.raises(NotationError):
+            spec.resolved(20)
+
+    def test_rejects_empty_cnn(self):
+        spec = parse_notation("{L1-Last: CE1-CE2}")
+        with pytest.raises(NotationError):
+            spec.resolved(0)
+
+    def test_to_notation_after_resolve(self):
+        spec = parse_notation("{L1-L4: CE1, L5-Last: CE2-CE4}").resolved(12)
+        assert spec.to_notation() == "{L1-L4: CE1, L5-L12: CE2-CE4}"
+
+    def test_blocks_must_exist(self):
+        with pytest.raises(NotationError):
+            ArchitectureSpec(name="empty", blocks=())

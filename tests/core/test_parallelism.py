@@ -1,0 +1,182 @@
+"""Tests for parallelism strategies and the Eq. 1 latency primitive."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cnn.graph import ConvSpec
+from repro.cnn.layers import LayerKind
+from repro.core.parallelism import (
+    Dimension,
+    ParallelismStrategy,
+    choose_parallelism,
+    dimension_extent,
+    layer_cycles,
+    layer_utilization,
+)
+from repro.utils.errors import ResourceError
+
+
+def make_spec(k=16, c=8, h=8, w=8, r=3, s=3, index=0):
+    return ConvSpec(
+        index=index,
+        name=f"L{index}",
+        kind=LayerKind.STANDARD_CONV,
+        filters=k,
+        channels=c,
+        out_height=h,
+        out_width=w,
+        kernel_height=r,
+        kernel_width=s,
+        ifm_elements=h * w * c,
+        ofm_elements=h * w * k,
+        weight_count=k * c * r * s,
+        macs=k * c * h * w * r * s,
+    )
+
+
+conv_spec_strategy = st.builds(
+    make_spec,
+    k=st.integers(1, 64),
+    c=st.integers(1, 32),
+    h=st.integers(1, 32),
+    w=st.integers(1, 32),
+    r=st.sampled_from([1, 3, 5]),
+    s=st.sampled_from([1, 3, 5]),
+)
+
+
+class TestStrategy:
+    def test_default_degrees_are_one(self):
+        strategy = ParallelismStrategy()
+        for dimension in Dimension:
+            assert strategy.degree(dimension) == 1
+        assert strategy.total_parallelism == 1
+
+    def test_from_dict(self):
+        strategy = ParallelismStrategy.from_dict(
+            {Dimension.FILTERS: 4, Dimension.OUT_WIDTH: 2}
+        )
+        assert strategy.degree(Dimension.FILTERS) == 4
+        assert strategy.total_parallelism == 8
+        assert strategy.dimensionality == 2
+
+    def test_rejects_nonpositive_degree(self):
+        with pytest.raises(ResourceError):
+            ParallelismStrategy(degrees=((Dimension.FILTERS, 0),))
+
+    def test_rejects_duplicate_dimension(self):
+        with pytest.raises(ResourceError):
+            ParallelismStrategy(
+                degrees=((Dimension.FILTERS, 2), (Dimension.FILTERS, 4))
+            )
+
+    def test_describe(self):
+        strategy = ParallelismStrategy.from_dict({Dimension.FILTERS: 4})
+        assert "K=4" in strategy.describe()
+        assert ParallelismStrategy().describe() == "scalar"
+
+
+class TestLayerCycles:
+    def test_scalar_strategy_counts_all_macs(self):
+        spec = make_spec()
+        assert layer_cycles(spec, ParallelismStrategy()) == spec.macs
+
+    def test_perfect_parallelism_divides(self):
+        spec = make_spec(k=16, h=8, w=8)
+        strategy = ParallelismStrategy.from_dict(
+            {Dimension.FILTERS: 4, Dimension.OUT_HEIGHT: 2, Dimension.OUT_WIDTH: 2}
+        )
+        assert layer_cycles(spec, strategy) == spec.macs // 16
+
+    def test_ragged_edge_costs_extra(self):
+        # 6 filters on a 4-wide filter unroll: ceil(6/4)=2 passes -> same
+        # cycles as 8 filters would take (the Fig. 4c example).
+        spec6 = make_spec(k=6)
+        spec8 = make_spec(k=8)
+        strategy = ParallelismStrategy.from_dict({Dimension.FILTERS: 4})
+        assert layer_cycles(spec6, strategy) == layer_cycles(spec8, strategy)
+
+    def test_dimension_extent(self):
+        spec = make_spec(k=10, c=20, h=30, w=40, r=3, s=5)
+        assert dimension_extent(spec, Dimension.FILTERS) == 10
+        assert dimension_extent(spec, Dimension.CHANNELS) == 20
+        assert dimension_extent(spec, Dimension.OUT_HEIGHT) == 30
+        assert dimension_extent(spec, Dimension.OUT_WIDTH) == 40
+        assert dimension_extent(spec, Dimension.KERNEL_HEIGHT) == 3
+        assert dimension_extent(spec, Dimension.KERNEL_WIDTH) == 5
+
+    @given(conv_spec_strategy, st.integers(1, 256))
+    @settings(max_examples=150)
+    def test_cycles_lower_bounded_by_perfect_speedup(self, spec, budget):
+        strategy = choose_parallelism(budget, [spec])
+        cycles = layer_cycles(spec, strategy)
+        # Work conservation: parallelism P can at best divide MACs by P.
+        assert cycles * strategy.total_parallelism >= spec.macs
+        assert cycles <= spec.macs  # never slower than scalar
+
+
+class TestUtilization:
+    def test_perfect_utilization(self):
+        spec = make_spec(k=16, h=8, w=8)
+        strategy = ParallelismStrategy.from_dict({Dimension.FILTERS: 16})
+        assert layer_utilization(spec, strategy, 16) == pytest.approx(1.0)
+
+    def test_half_utilization_on_ragged(self):
+        spec = make_spec(k=2)
+        strategy = ParallelismStrategy.from_dict({Dimension.FILTERS: 4})
+        assert layer_utilization(spec, strategy, 4) == pytest.approx(0.5)
+
+    def test_rejects_bad_pe_count(self):
+        with pytest.raises(ResourceError):
+            layer_utilization(make_spec(), ParallelismStrategy(), 0)
+
+    @given(conv_spec_strategy, st.integers(1, 512))
+    @settings(max_examples=150)
+    def test_utilization_in_unit_interval(self, spec, budget):
+        strategy = choose_parallelism(budget, [spec])
+        utilization = layer_utilization(spec, strategy, budget)
+        assert 0.0 < utilization <= 1.0
+
+
+class TestChooseParallelism:
+    def test_respects_budget(self):
+        spec = make_spec(k=64, h=32, w=32)
+        for budget in (1, 7, 16, 100, 500):
+            strategy = choose_parallelism(budget, [spec])
+            assert strategy.total_parallelism <= budget
+
+    def test_single_pe_is_scalar(self):
+        strategy = choose_parallelism(1, [make_spec()])
+        assert strategy.total_parallelism == 1
+
+    def test_prefers_exact_divisors(self):
+        # With budget 16 and K=16, the obvious optimum uses all 16 PEs.
+        spec = make_spec(k=16, h=7, w=7)
+        strategy = choose_parallelism(16, [spec])
+        cycles = layer_cycles(spec, strategy)
+        assert cycles * 16 == spec.macs  # perfectly utilized
+
+    def test_optimizes_average_over_layers(self):
+        # A strategy fitted to two layers should be at least as good in
+        # total cycles as one fitted to either layer alone.
+        layer_a = make_spec(k=24, h=8, w=8, index=0)
+        layer_b = make_spec(k=16, h=12, w=12, index=1)
+        joint = choose_parallelism(32, [layer_a, layer_b])
+        total_joint = layer_cycles(layer_a, joint) + layer_cycles(layer_b, joint)
+        for solo_spec in (layer_a, layer_b):
+            solo = choose_parallelism(32, [solo_spec])
+            total_solo = layer_cycles(layer_a, solo) + layer_cycles(layer_b, solo)
+            assert total_joint <= total_solo
+
+    def test_rejects_empty_layer_set(self):
+        with pytest.raises(ResourceError):
+            choose_parallelism(16, [])
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ResourceError):
+            choose_parallelism(0, [make_spec()])
+
+    def test_deterministic(self):
+        specs = [make_spec(k=48, h=14, w=14)]
+        assert choose_parallelism(96, specs) == choose_parallelism(96, specs)

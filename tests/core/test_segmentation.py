@@ -1,0 +1,80 @@
+"""Tests for segmentation heuristics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.segmentation import balanced_segments, hybrid_split, segment_loads
+from repro.utils.errors import ResourceError
+from tests.core.test_parallelism import make_spec
+
+
+def make_specs(count, k=16):
+    return [make_spec(k=k, index=i) for i in range(count)]
+
+
+class TestBalancedSegments:
+    def test_covers_all_layers(self, tiny_specs):
+        for parts in (1, 2, 3, len(tiny_specs)):
+            ranges = balanced_segments(tiny_specs, parts)
+            assert ranges[0][0] == 1
+            assert ranges[-1][1] == len(tiny_specs)
+            for (a, b), (c, d) in zip(ranges, ranges[1:]):
+                assert c == b + 1
+
+    def test_segment_count(self, tiny_specs):
+        assert len(balanced_segments(tiny_specs, 3)) == 3
+
+    def test_no_empty_segments(self, tiny_specs):
+        for parts in range(1, len(tiny_specs) + 1):
+            for start, end in balanced_segments(tiny_specs, parts):
+                assert end >= start
+
+    def test_rejects_too_many_segments(self, tiny_specs):
+        with pytest.raises(ResourceError):
+            balanced_segments(tiny_specs, len(tiny_specs) + 1)
+
+    def test_rejects_zero_segments(self, tiny_specs):
+        with pytest.raises(ResourceError):
+            balanced_segments(tiny_specs, 0)
+
+    def test_roughly_balanced(self, resnet50):
+        specs = resnet50.conv_specs()
+        ranges = balanced_segments(specs, 4)
+        loads = segment_loads(specs, ranges)
+        # With boundary refinement the imbalance is bounded but not exact.
+        assert max(loads) <= 2.0 * (sum(loads) / len(loads))
+
+    @given(st.integers(2, 30), st.integers(1, 8), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_property_coverage(self, n, parts, data):
+        parts = min(parts, n)
+        specs = make_specs(n)
+        ranges = balanced_segments(specs, parts)
+        assert len(ranges) == parts
+        covered = []
+        for start, end in ranges:
+            covered.extend(range(start, end + 1))
+        assert covered == list(range(1, n + 1))
+
+
+class TestSegmentLoads:
+    def test_loads_sum_to_total(self, tiny_specs):
+        ranges = balanced_segments(tiny_specs, 3)
+        loads = segment_loads(tiny_specs, ranges)
+        assert sum(loads) == sum(spec.macs for spec in tiny_specs)
+
+
+class TestHybridSplit:
+    def test_two_ces_pipelines_one_layer(self, tiny_specs):
+        assert hybrid_split(tiny_specs, 2) == 1
+
+    def test_n_ces_pipelines_n_minus_one(self, tiny_specs):
+        assert hybrid_split(tiny_specs, 5) == 4
+
+    def test_one_ce_has_no_pipeline(self, tiny_specs):
+        assert hybrid_split(tiny_specs, 1) == 0
+
+    def test_rejects_pipelining_everything(self, tiny_specs):
+        with pytest.raises(ResourceError):
+            hybrid_split(tiny_specs, len(tiny_specs) + 1)

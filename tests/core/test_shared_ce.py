@@ -1,0 +1,122 @@
+"""Tests for CEs processing multiple segments (Eq. 8's general case).
+
+The notation ``{L1-L3: CE1, L4-L6: CE2, L7-Last: CE1}`` assigns two
+non-adjacent segments to CE1: one physical engine, one reused buffer sized
+for the worst segment, and serialized pipeline occupancy.
+"""
+
+import pytest
+
+from repro.api import build_accelerator, evaluate
+from repro.core.cost.model import default_model
+from repro.core.notation import parse_notation
+from repro.synth.simulator import SynthesisSimulator
+from repro.utils.errors import NotationError
+
+SHARED = "{L1-L3: CE1, L4-L6: CE2, L7-Last: CE1}"
+UNSHARED = "{L1-L3: CE1, L4-L6: CE2, L7-Last: CE3}"
+
+
+class TestNotationReuse:
+    def test_parse_assigns_shared_id(self):
+        spec = parse_notation(SHARED)
+        assert spec.blocks[0].ce_id == 1
+        assert spec.blocks[2].ce_id == 1
+        assert spec.total_ces == 2
+
+    def test_round_trip_preserves_reuse(self):
+        spec = parse_notation(SHARED).resolved(8)
+        assert spec.to_notation() == "{L1-L3: CE1, L4-L6: CE2, L7-L8: CE1}"
+
+    def test_pipelined_blocks_cannot_share(self):
+        with pytest.raises(NotationError):
+            parse_notation("{L1-L3: CE1-CE2, L4-Last: CE1-CE2}")
+
+    def test_fresh_ids_still_must_be_consecutive(self):
+        with pytest.raises(NotationError):
+            parse_notation("{L1-L3: CE1, L4-Last: CE5}")
+
+
+class TestSharedBuild:
+    @pytest.fixture(scope="class")
+    def shared(self, vcu108):
+        return build_accelerator("mobilenetv2", vcu108, SHARED)
+
+    def test_engines_are_shared(self, shared):
+        assert shared.blocks[0].engine is shared.blocks[2].engine
+        assert shared.blocks[0].engine is not shared.blocks[1].engine
+
+    def test_total_pes_counts_shared_once(self, shared, vcu108):
+        assert shared.total_pes == vcu108.pe_count
+
+    def test_group_members(self, shared):
+        members = shared.group_members()
+        assert members["ce1"] == [0, 2]
+        assert members["ce2"] == [1]
+
+    def test_shared_engine_fitted_to_both_segments(self, shared):
+        # The shared engine's parallelism must respect its PE budget and
+        # serve layers from both segments (average-case fitting, IV-B1).
+        engine = shared.blocks[0].engine
+        assert engine.strategy.total_parallelism <= engine.pe_count
+
+
+class TestSharedEvaluation:
+    @pytest.fixture(scope="class")
+    def reports(self, vcu108):
+        model = default_model()
+        return {
+            "shared": model.evaluate(build_accelerator("mobilenetv2", vcu108, SHARED)),
+            "unshared": model.evaluate(build_accelerator("mobilenetv2", vcu108, UNSHARED)),
+        }
+
+    def test_shared_needs_less_buffer(self, reports):
+        # One reused buffer (max of segments) vs two separate buffers.
+        assert (
+            reports["shared"].buffer_requirement_bytes
+            < reports["unshared"].buffer_requirement_bytes
+        )
+
+    def test_shared_throughput_no_better(self, reports):
+        # The shared CE serializes its two segments per input, so the
+        # coarse pipeline's interval cannot beat the unshared design's.
+        assert (
+            reports["shared"].throughput_fps
+            <= reports["unshared"].throughput_fps * (1 + 1e-9)
+        )
+
+    def test_interval_at_least_sum_of_shared_segments(self, reports):
+        report = reports["shared"]
+        shared_sum = (
+            report.blocks[0].throughput_interval_cycles
+            + report.blocks[2].throughput_interval_cycles
+        )
+        assert report.throughput_interval_cycles >= shared_sum * 0.999
+
+    def test_layer_coverage_intact(self, reports):
+        from repro.cnn.zoo import load_model
+
+        indices = sorted(
+            i for segment in reports["shared"].segments for i in segment.layer_indices
+        )
+        assert indices == list(range(load_model("mobilenetv2").num_conv_layers))
+
+    def test_blocks_in_group_get_same_allocation(self, reports):
+        report = reports["shared"]
+        assert (
+            report.blocks[0].buffer_allocated_bytes
+            == report.blocks[2].buffer_allocated_bytes
+        )
+
+
+class TestSharedSimulation:
+    def test_simulator_consistent(self, vcu108):
+        accelerator = build_accelerator("mobilenetv2", vcu108, SHARED)
+        report = default_model().evaluate(accelerator)
+        simulation = SynthesisSimulator(accelerator).run()
+        assert simulation.access_bytes == report.accesses.total_bytes
+        assert simulation.latency_cycles >= report.latency_cycles
+        # Shared engine serializes segments in the simulator too.
+        assert simulation.throughput_interval_cycles >= (
+            report.throughput_interval_cycles * 0.9
+        )

@@ -1,0 +1,93 @@
+"""Tests for DSE search strategies and objectives."""
+
+import pytest
+
+from repro.dse.objectives import Objective, matches_throughput, throughput_at_most_cost
+from repro.dse.sampler import DesignEvaluator
+from repro.dse.search import guided_search, local_search, random_search
+from repro.dse.space import CustomDesignSpace
+
+
+@pytest.fixture(scope="module")
+def setup(roomy_board):
+    from tests.conftest import build_tiny_cnn
+
+    cnn = build_tiny_cnn()
+    evaluator = DesignEvaluator(cnn, roomy_board)
+    space = CustomDesignSpace(evaluator.builder.conv_specs, ce_counts=(2, 3, 4))
+    return evaluator, space
+
+
+class TestObjective:
+    def test_score_prefers_throughput(self, setup):
+        evaluator, space = setup
+        result = random_search(evaluator, space, samples=10, seed=5)
+        objective = Objective(cost_metric="buffers", cost_weight=0.0)
+        best_design, best_report = result.best_by(objective)
+        assert best_report.throughput_fps == max(
+            report.throughput_fps for _, report in result.evaluated
+        )
+
+    def test_relative_normalization(self, setup):
+        evaluator, space = setup
+        result = random_search(evaluator, space, samples=5, seed=6)
+        _, reference = result.evaluated[0]
+        objective = Objective.relative_to(reference)
+        assert objective.score(reference) == pytest.approx(0.0)
+
+    def test_constraints(self, setup):
+        evaluator, space = setup
+        result = random_search(evaluator, space, samples=5, seed=7)
+        _, report = result.evaluated[0]
+        assert throughput_at_most_cost(report.metric("buffers"))(report)
+        assert matches_throughput(report.throughput_fps)(report)
+        assert not matches_throughput(report.throughput_fps * 2)(report)
+
+
+class TestRandomSearch:
+    def test_front_is_subset(self, setup):
+        evaluator, space = setup
+        result = random_search(evaluator, space, samples=20, seed=0)
+        evaluated_keys = {(d.pipelined_layers, d.cuts) for d, _ in result.evaluated}
+        front_keys = {(d.pipelined_layers, d.cuts) for d, _ in result.front}
+        assert front_keys <= evaluated_keys
+        assert result.front
+
+    def test_deterministic(self, setup):
+        evaluator, space = setup
+        a = random_search(evaluator, space, samples=10, seed=4)
+        b = random_search(evaluator, space, samples=10, seed=4)
+        assert [
+            (d.pipelined_layers, d.cuts) for d, _ in a.evaluated
+        ] == [(d.pipelined_layers, d.cuts) for d, _ in b.evaluated]
+
+    def test_best_by_raises_on_empty(self, setup):
+        _, space = setup
+        from repro.dse.sampler import SampleStats
+        from repro.dse.search import SearchResult
+
+        empty = SearchResult(
+            evaluated=[], front=[], stats=SampleStats(0, 0, 0.0)
+        )
+        with pytest.raises(ValueError):
+            empty.best_by(Objective())
+
+
+class TestLocalAndGuidedSearch:
+    def test_local_search_never_worse(self, setup):
+        evaluator, space = setup
+        result = random_search(evaluator, space, samples=10, seed=9)
+        start_design, start_report = result.evaluated[0]
+        objective = Objective.relative_to(start_report)
+        improved_design, improved_report = local_search(
+            evaluator, space, start_design, objective, iterations=10, seed=1
+        )
+        assert improved_report is not None
+        assert objective.score(improved_report) >= objective.score(start_report)
+
+    def test_guided_search_front_at_least_random(self, setup):
+        evaluator, space = setup
+        objective = Objective(cost_metric="buffers")
+        guided = guided_search(evaluator, space, samples=15, objective=objective, seed=2)
+        assert guided.front
+        assert guided.stats.evaluated > 0

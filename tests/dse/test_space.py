@@ -1,0 +1,122 @@
+"""Tests for the custom design space."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse.space import CustomDesign, CustomDesignSpace
+from repro.utils.errors import ResourceError
+from tests.core.test_parallelism import make_spec
+
+
+def make_space(layers=10, ce_counts=(2, 3, 4)):
+    specs = [make_spec(index=i) for i in range(layers)]
+    return CustomDesignSpace(specs, ce_counts=ce_counts)
+
+
+class TestCustomDesign:
+    def test_ce_count(self):
+        design = CustomDesign(pipelined_layers=3, cuts=(5, 7), num_layers=10)
+        assert design.ce_count == 3 + 2 + 1
+
+    def test_to_spec_structure(self):
+        design = CustomDesign(pipelined_layers=3, cuts=(5, 7), num_layers=10)
+        spec = design.to_spec()
+        assert spec.blocks[0].is_pipelined
+        assert spec.blocks[0].ce_count == 3
+        assert len(spec.blocks) == 4  # pipelined + 3 segments
+        resolved = spec.resolved(10)
+        assert sum(block.num_layers for block in resolved.blocks) == 10
+
+    def test_pure_segmented_when_no_pipeline(self):
+        design = CustomDesign(pipelined_layers=0, cuts=(4,), num_layers=10)
+        spec = design.to_spec()
+        assert all(not block.is_pipelined for block in spec.blocks)
+
+    def test_rejects_out_of_order_cuts(self):
+        with pytest.raises(ResourceError):
+            CustomDesign(pipelined_layers=0, cuts=(7, 5), num_layers=10)
+
+    def test_rejects_cut_inside_pipeline(self):
+        with pytest.raises(ResourceError):
+            CustomDesign(pipelined_layers=5, cuts=(3,), num_layers=10)
+
+    def test_rejects_pipeline_swallowing_cnn(self):
+        with pytest.raises(ResourceError):
+            CustomDesign(pipelined_layers=10, cuts=(), num_layers=10)
+
+
+class TestSpaceSize:
+    def test_matches_brute_force(self):
+        # Brute force over a tiny CNN: count all (p, cuts) combos.
+        layers, ce_counts = 6, (2, 3)
+        space = make_space(layers, ce_counts)
+        count = 0
+        import itertools
+
+        for n in ce_counts:
+            for p in range(0, n):
+                m = n - p
+                if layers - p < m:
+                    continue
+                positions = range(p + 1, layers)
+                count += sum(1 for _ in itertools.combinations(positions, m - 1))
+        assert space.size() == count
+
+    def test_grows_with_ce_counts(self):
+        assert make_space(10, (2, 3, 4)).size() > make_space(10, (2,)).size()
+
+    def test_xception_scale_is_billions(self, resnet50):
+        space = CustomDesignSpace(resnet50.conv_specs())
+        assert space.size() > 10**9  # the paper's "roughly 97.1 billion" scale
+
+    def test_rejects_tiny_ce_counts(self):
+        with pytest.raises(ResourceError):
+            make_space(10, (1,))
+
+    def test_rejects_empty_cnn(self):
+        with pytest.raises(ResourceError):
+            CustomDesignSpace([], ce_counts=(2,))
+
+
+class TestSampling:
+    def test_samples_are_valid_and_unique(self):
+        space = make_space(12, (2, 3, 4, 5))
+        designs = list(space.sample(30, seed=7))
+        keys = {(d.pipelined_layers, d.cuts) for d in designs}
+        assert len(keys) == len(designs)
+        for design in designs:
+            assert design.ce_count in (2, 3, 4, 5)
+            design.to_spec().resolved(12)  # raises if malformed
+
+    def test_deterministic_for_seed(self):
+        space = make_space()
+        first = [(d.pipelined_layers, d.cuts) for d in space.sample(10, seed=3)]
+        second = [(d.pipelined_layers, d.cuts) for d in space.sample(10, seed=3)]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        space = make_space(20, (2, 3, 4, 5, 6))
+        a = [(d.pipelined_layers, d.cuts) for d in space.sample(10, seed=1)]
+        b = [(d.pipelined_layers, d.cuts) for d in space.sample(10, seed=2)]
+        assert a != b
+
+    def test_max_pipelined_respected(self):
+        specs = [make_spec(index=i) for i in range(10)]
+        space = CustomDesignSpace(specs, ce_counts=(4, 5), max_pipelined=2)
+        for design in space.sample(20, seed=0):
+            assert design.pipelined_layers <= 2
+
+
+class TestMutation:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=50, deadline=None)
+    def test_mutations_stay_valid(self, seed):
+        rng = random.Random(seed)
+        space = make_space(12, (2, 3, 4, 5))
+        design = space.random_design(rng)
+        for _ in range(10):
+            design = space.mutate(design, rng)
+            design.to_spec().resolved(12)

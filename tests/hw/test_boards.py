@@ -1,0 +1,91 @@
+"""Tests for the FPGA board descriptions (Table II)."""
+
+import pytest
+
+from repro.hw.boards import (
+    BOARDS,
+    DEFAULT_CLOCK_HZ,
+    PAPER_BOARDS,
+    FPGABoard,
+    available_boards,
+    get_board,
+)
+from repro.utils.errors import ResourceError
+from repro.utils.units import BYTES_PER_MIB
+
+# Table II reference values: (DSPs, BRAM MiB, bandwidth GB/s).
+TABLE_II = {
+    "zc706": (900, 2.4, 3.2),
+    "vcu108": (768, 7.6, 19.2),
+    "vcu110": (1800, 4.0, 19.2),
+    "zcu102": (2520, 16.6, 19.2),
+}
+
+
+@pytest.mark.parametrize("name", list(TABLE_II))
+class TestTableII:
+    def test_dsps(self, name):
+        assert get_board(name).dsp_count == TABLE_II[name][0]
+
+    def test_bram(self, name):
+        assert get_board(name).bram_bytes == pytest.approx(
+            TABLE_II[name][1] * BYTES_PER_MIB, abs=1
+        )
+
+    def test_bandwidth(self, name):
+        assert get_board(name).bandwidth_gbps == TABLE_II[name][2]
+
+
+class TestRegistry:
+    def test_paper_boards_order(self):
+        assert PAPER_BOARDS == ["zc706", "vcu108", "vcu110", "zcu102"]
+
+    def test_available_matches_registry(self):
+        assert set(available_boards()) == set(BOARDS)
+
+    def test_case_insensitive(self):
+        assert get_board("ZCU102") is get_board("zcu102")
+
+    def test_unknown_board(self):
+        with pytest.raises(KeyError):
+            get_board("virtex-9000")
+
+
+class TestDerivedQuantities:
+    def test_bytes_per_cycle(self):
+        board = get_board("zc706")
+        # 3.2 GB/s at 200 MHz = 16 B/cycle.
+        assert board.bytes_per_cycle == pytest.approx(16.0)
+
+    def test_peak_macs(self):
+        board = get_board("zcu102")
+        assert board.peak_macs_per_second == 2520 * DEFAULT_CLOCK_HZ
+
+    def test_cycles_to_seconds(self):
+        board = get_board("zc706")
+        assert board.cycles_to_seconds(board.clock_hz) == pytest.approx(1.0)
+
+    def test_cycles_to_seconds_rejects_negative(self):
+        with pytest.raises(ValueError):
+            get_board("zc706").cycles_to_seconds(-1)
+
+    def test_with_clock(self):
+        board = get_board("zc706").with_clock(100e6)
+        assert board.clock_hz == 100e6
+        assert board.bytes_per_cycle == pytest.approx(32.0)
+        # Original is unchanged (frozen dataclass copy).
+        assert get_board("zc706").clock_hz == DEFAULT_CLOCK_HZ
+
+
+class TestValidation:
+    def test_rejects_zero_dsps(self):
+        with pytest.raises(ResourceError):
+            FPGABoard(name="bad", dsp_count=0, bram_bytes=1, bandwidth_gbps=1.0)
+
+    def test_rejects_zero_bram(self):
+        with pytest.raises(ResourceError):
+            FPGABoard(name="bad", dsp_count=1, bram_bytes=0, bandwidth_gbps=1.0)
+
+    def test_rejects_zero_bandwidth(self):
+        with pytest.raises(ResourceError):
+            FPGABoard(name="bad", dsp_count=1, bram_bytes=1, bandwidth_gbps=0.0)

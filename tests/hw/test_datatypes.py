@@ -1,0 +1,51 @@
+"""Tests for arithmetic datatypes and precision."""
+
+import pytest
+
+from repro.hw.datatypes import (
+    DEFAULT_PRECISION,
+    FP32,
+    INT8,
+    INT16,
+    DataType,
+    Precision,
+    get_datatype,
+)
+
+
+class TestDataType:
+    def test_bytes(self):
+        assert INT8.bytes == 1
+        assert INT16.bytes == 2
+        assert FP32.bytes == 4
+
+    def test_rejects_non_byte_width(self):
+        with pytest.raises(ValueError):
+            DataType("odd", 12)
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ValueError):
+            DataType("none", 0)
+
+    def test_lookup(self):
+        assert get_datatype("int16") is INT16
+        assert get_datatype("INT8") is INT8
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            get_datatype("bf16")
+
+
+class TestPrecision:
+    def test_default_is_16_bit(self):
+        assert DEFAULT_PRECISION.weight_bytes == 2
+        assert DEFAULT_PRECISION.activation_bytes == 2
+
+    def test_mixed_precision(self):
+        precision = Precision(weights=INT8, activations=INT16)
+        assert precision.weight_bytes == 1
+        assert precision.activation_bytes == 2
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            DEFAULT_PRECISION.weights = INT8  # type: ignore[misc]

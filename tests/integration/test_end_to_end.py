@@ -1,0 +1,86 @@
+"""End-to-end invariants over the full model x board x architecture grid."""
+
+import pytest
+
+from repro.api import build_accelerator, evaluate
+from repro.cnn.zoo import PAPER_MODELS
+from repro.core.cost.model import default_model
+from repro.hw.boards import PAPER_BOARDS
+from repro.synth.simulator import SynthesisSimulator
+from repro.synth.validate import accuracy_percent
+
+CASES = [
+    (model, board, architecture, ce_count)
+    for model in ("resnet50", "mobilenetv2")
+    for board in ("zc706", "zcu102")
+    for architecture, ce_count in (
+        ("segmented", 4),
+        ("segmentedrr", 3),
+        ("hybrid", 5),
+    )
+]
+
+
+@pytest.mark.parametrize("model,board,architecture,ce_count", CASES)
+class TestGridInvariants:
+    @pytest.fixture()
+    def report(self, model, board, architecture, ce_count):
+        return evaluate(model, board, architecture, ce_count=ce_count)
+
+    def test_positive_metrics(self, report):
+        assert report.latency_cycles > 0
+        assert report.throughput_fps > 0
+        assert report.buffer_requirement_bytes > 0
+        assert report.accesses.total_bytes > 0
+
+    def test_throughput_at_least_inverse_latency(self, report):
+        # Pipelining can only help throughput relative to one-at-a-time.
+        assert report.throughput_interval_cycles <= report.latency_cycles * (1 + 1e-9)
+
+    def test_weight_floor_respected(self, report, precision):
+        from repro.cnn.zoo import load_model
+
+        weights = load_model(report.model_name).conv_weights
+        assert report.accesses.weight_bytes >= weights * precision.weight_bytes
+
+    def test_segments_partition_layers(self, report):
+        from repro.cnn.zoo import load_model
+
+        indices = sorted(
+            index for segment in report.segments for index in segment.layer_indices
+        )
+        assert indices == list(range(load_model(report.model_name).num_conv_layers))
+
+    def test_utilization_bounded(self, report):
+        assert 0.0 < report.pe_utilization <= 1.0
+
+
+@pytest.mark.parametrize("model", PAPER_MODELS)
+def test_every_paper_model_evaluates_everywhere(model):
+    for board in PAPER_BOARDS:
+        report = evaluate(model, board, "hybrid", ce_count=3)
+        assert report.throughput_fps > 0
+
+
+class TestModelVsSimulatorAgreement:
+    @pytest.mark.parametrize("architecture,ce_count", [
+        ("segmented", 3),
+        ("segmentedrr", 2),
+        ("hybrid", 4),
+    ])
+    def test_accuracy_above_80_percent(self, architecture, ce_count):
+        accelerator = build_accelerator("mobilenetv2", "vcu108", architecture, ce_count=ce_count)
+        report = default_model().evaluate(accelerator)
+        simulation = SynthesisSimulator(accelerator).run()
+        for reference, estimate in (
+            (simulation.latency_cycles, report.latency_cycles),
+            (simulation.throughput_fps, report.throughput_fps),
+            (simulation.buffer_bytes, report.buffer_requirement_bytes),
+        ):
+            assert accuracy_percent(reference, estimate) > 80.0
+
+    def test_accesses_exact(self):
+        accelerator = build_accelerator("mobilenetv2", "vcu108", "segmented", ce_count=3)
+        report = default_model().evaluate(accelerator)
+        simulation = SynthesisSimulator(accelerator).run()
+        assert simulation.access_bytes == report.accesses.total_bytes

@@ -1,0 +1,158 @@
+"""Integration tests pinning the paper's qualitative findings.
+
+These assert the *shape* of the results — who wins, what dominates — on the
+paper's own workload/board combinations, not absolute numbers.
+"""
+
+import pytest
+
+from repro.analysis.breakdown import access_breakdown
+from repro.analysis.reporting import architecture_of, best_instances
+from repro.api import evaluate, sweep
+
+
+@pytest.fixture(scope="module")
+def resnet_zc706():
+    """The Fig. 5/6/7 setting: ResNet50 on ZC706, CE counts 2-11."""
+    return sweep("resnet50", "zc706")
+
+
+@pytest.fixture(scope="module")
+def resnet_zcu102():
+    """The Table I setting: ResNet50 on ZCU102."""
+    return sweep("resnet50", "zcu102")
+
+
+def by_family(reports):
+    families = {}
+    for report in reports:
+        families.setdefault(architecture_of(report), []).append(report)
+    return families
+
+
+class TestFig5Shapes:
+    def test_all_thirty_instances_evaluate(self, resnet_zc706):
+        assert len(resnet_zc706) == 30
+
+    def test_segmentedrr_has_most_accesses(self, resnet_zc706):
+        families = by_family(resnet_zc706)
+        rr_min = min(r.accesses.total_bytes for r in families["SegmentedRR"])
+        for other in ("Segmented", "Hybrid"):
+            other_min = min(r.accesses.total_bytes for r in families[other])
+            assert rr_min > other_min
+
+    def test_hybrid_achieves_minimum_accesses(self, resnet_zc706):
+        best = best_instances(resnet_zc706, "access")[0]
+        assert architecture_of(best) == "Hybrid"
+
+    def test_throughput_in_plausible_fps_band(self, resnet_zc706):
+        # Fig. 5 plots roughly 10-30 FPS on ZC706.
+        values = [r.throughput_fps for r in resnet_zc706]
+        assert 5 < min(values) and max(values) < 60
+
+
+class TestFig6Shapes:
+    def test_rr2_has_27_segments(self):
+        # 53 conv layers round-robin on 2 CEs -> 27 rounds (Fig. 6a).
+        report = evaluate("resnet50", "zc706", "segmentedrr", ce_count=2)
+        assert len(report.segments) == 27
+
+    def test_rr2_has_memory_bound_tail_segments(self):
+        from repro.analysis.bottleneck import profile_bottlenecks
+
+        report = evaluate("resnet50", "zc706", "segmentedrr", ce_count=2)
+        profile = profile_bottlenecks(report)
+        memory_bound = profile.memory_bound_segments()
+        assert memory_bound
+        # The bottleneck segments sit in the deep half of the network,
+        # where weights are large (paper: segments 22-26 of 27).
+        assert all(t.index >= len(profile.segments) // 2 for t in memory_bound)
+
+    def test_rr2_idle_fraction_substantial(self):
+        from repro.analysis.bottleneck import idle_fraction
+
+        report = evaluate("resnet50", "zc706", "segmentedrr", ce_count=2)
+        # Paper reports 29% idle; accept a generous band around it.
+        assert 0.10 < idle_fraction(report) < 0.60
+
+    def test_segmented7_has_7_segments_no_memory_bottleneck(self):
+        from repro.analysis.bottleneck import profile_bottlenecks
+
+        report = evaluate("resnet50", "zc706", "segmented", ce_count=7)
+        profile = profile_bottlenecks(report)
+        assert len(profile.segments) == 7
+        assert profile.idle_fraction < 0.25
+
+
+class TestFig7Shapes:
+    def test_weights_dominate_rr_and_hybrid(self):
+        for architecture, count in (("segmentedrr", 2), ("hybrid", 9)):
+            report = evaluate("resnet50", "zc706", architecture, ce_count=count)
+            shares = access_breakdown(report)
+            assert shares.dominant == "weights"
+            assert shares.weight_fraction > 0.7
+
+    def test_segmented_moves_more_fms_than_rr(self):
+        segmented = evaluate("resnet50", "zc706", "segmented", ce_count=7)
+        rr = evaluate("resnet50", "zc706", "segmentedrr", ce_count=2)
+        assert (
+            access_breakdown(segmented).fm_fraction
+            > access_breakdown(rr).fm_fraction
+        )
+
+
+class TestTableIShapes:
+    def test_segmentedrr_best_latency(self, resnet_zcu102):
+        best = best_instances(resnet_zcu102, "latency")[0]
+        assert architecture_of(best) == "SegmentedRR"
+
+    def test_segmented_latency_much_worse_than_rr(self, resnet_zcu102):
+        # Table I reports 4.7x for a specific instance pair; the matched
+        # CE-count comparison shows the same widening latency gap — each
+        # Segmented segment owns only a slice of the PEs, and a single
+        # image visits them in sequence.
+        families = {
+            architecture_of(r): {} for r in resnet_zcu102
+        }
+        for report in resnet_zcu102:
+            families[architecture_of(report)][
+                int(report.accelerator_name.rsplit("-", 1)[1])
+            ] = report
+        for count in range(4, 12):
+            ratio = (
+                families["Segmented"][count].latency_seconds
+                / families["SegmentedRR"][count].latency_seconds
+            )
+            assert ratio > 1.5
+
+    def test_rr_needs_most_buffers_among_best_latency_instances(self, resnet_zcu102):
+        families = by_family(resnet_zcu102)
+        best_latency = {
+            family: min(reports, key=lambda r: r.latency_seconds)
+            for family, reports in families.items()
+        }
+        rr_buffers = best_latency["SegmentedRR"].buffer_requirement_bytes
+        assert rr_buffers > best_latency["Segmented"].buffer_requirement_bytes
+
+    def test_big_board_reaches_access_floor(self, resnet_zcu102):
+        # ZCU102's BRAM is large: Hybrid reaches the one-access-per-weight
+        # floor (Table V: "Hybrid always achieves the minimum off-chip
+        # accesses"; big boards let others catch up).
+        families = by_family(resnet_zcu102)
+        hybrid_best = min(r.accesses.total_bytes for r in families["Hybrid"])
+        overall_best = min(r.accesses.total_bytes for r in resnet_zcu102)
+        assert hybrid_best == overall_best
+
+
+class TestLatencyThroughputDuality:
+    def test_throughput_not_inverse_latency_for_coarse_pipelines(self):
+        report = evaluate("resnet50", "zc706", "segmented", ce_count=7)
+        inverse_latency_fps = 1.0 / report.latency_seconds
+        assert report.throughput_fps > 1.5 * inverse_latency_fps
+
+    def test_hybrid_latency_close_to_rr(self, resnet_zcu102):
+        # Table I: Hybrid latency within ~1.5x of SegmentedRR's best.
+        families = by_family(resnet_zcu102)
+        rr = min(r.latency_seconds for r in families["SegmentedRR"])
+        hybrid = min(r.latency_seconds for r in families["Hybrid"])
+        assert hybrid < 2.0 * rr

@@ -1,0 +1,188 @@
+"""Property-based invariants over random CNNs and random architectures.
+
+Generates small random CNNs and random block partitions, then checks the
+model-level conservation laws that must hold for *any* input: layer
+coverage, the weight-traffic floor, compute-time lower bounds, and
+throughput/latency consistency.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import MultipleCEBuilder
+from repro.core.cost.model import default_model
+from repro.core.notation import ArchitectureSpec, BlockSpec
+from repro.cnn.zoo.common import NetBuilder
+from repro.hw.boards import FPGABoard
+from repro.hw.datatypes import DEFAULT_PRECISION
+from repro.utils.errors import MCCMError
+
+
+@st.composite
+def random_cnn(draw):
+    """A random plain CNN: 3-10 conv layers with occasional depthwise."""
+    num_layers = draw(st.integers(3, 10))
+    size = draw(st.sampled_from([16, 24, 32]))
+    net = NetBuilder("RandomNet", (size, size, 3))
+    channels = 3
+    for index in range(num_layers):
+        if channels > 4 and draw(st.booleans()) and draw(st.booleans()):
+            net.dwconv(kernel=3, name=f"l{index}_dw")
+        else:
+            filters = draw(st.sampled_from([8, 12, 16, 24, 32]))
+            stride = draw(st.sampled_from([1, 1, 1, 2]))
+            kernel = draw(st.sampled_from([1, 3]))
+            net.conv(filters, kernel=kernel, stride=stride, name=f"l{index}")
+            channels = filters
+    return net.build()
+
+
+@st.composite
+def random_architecture(draw, num_layers):
+    """A random valid block partition over ``num_layers`` conv layers."""
+    num_blocks = draw(st.integers(1, min(3, num_layers)))
+    if num_blocks == 1:
+        cuts = []
+    else:
+        cuts = sorted(
+            draw(
+                st.lists(
+                    st.integers(1, num_layers - 1),
+                    min_size=num_blocks - 1,
+                    max_size=num_blocks - 1,
+                    unique=True,
+                )
+            )
+        )
+    bounds = [0] + cuts + [num_layers]
+    blocks = []
+    for start, end in zip(bounds, bounds[1:]):
+        span = end - start
+        pipelined = draw(st.booleans())
+        ce_count = draw(st.integers(2, min(4, span))) if (pipelined and span >= 2) else 1
+        blocks.append(BlockSpec(start + 1, end, ce_count))
+    if all(block.ce_count == 1 for block in blocks) and len(blocks) == 1:
+        blocks = [BlockSpec(1, num_layers, min(2, num_layers))]
+    coarse = draw(st.booleans())
+    return ArchitectureSpec(name="Random", blocks=tuple(blocks), coarse_pipelined=coarse)
+
+
+BOARD = FPGABoard(name="prop", dsp_count=256, bram_bytes=512 * 1024, bandwidth_gbps=4.0)
+
+
+@given(random_cnn(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_random_accelerator_invariants(graph, data):
+    builder = MultipleCEBuilder(graph, BOARD)
+    spec = data.draw(random_architecture(len(builder.conv_specs)))
+    try:
+        accelerator = builder.build(spec)
+    except MCCMError:
+        return  # infeasible draw (e.g. more CEs than PEs) — fine
+    report = default_model().evaluate(accelerator)
+
+    # 1. Layer coverage: every conv layer appears in exactly one segment.
+    indices = sorted(i for segment in report.segments for i in segment.layer_indices)
+    assert indices == list(range(graph.num_conv_layers))
+
+    # 2. PE conservation: blocks use exactly the board's PEs.
+    assert report.total_pes == BOARD.pe_count
+
+    # 3. Weight-traffic floor: each weight crosses the pins at least once.
+    weight_floor = graph.conv_weights * DEFAULT_PRECISION.weight_bytes
+    assert report.accesses.weight_bytes >= weight_floor
+
+    # 4. Compute lower bound: latency cannot beat perfect PE utilization.
+    perfect_cycles = graph.conv_macs / BOARD.pe_count
+    assert report.latency_cycles >= perfect_cycles * 0.999
+
+    # 5. Throughput cannot be worse than one-at-a-time processing, nor
+    #    better than the bandwidth allows.
+    assert report.throughput_interval_cycles <= report.latency_cycles * (1 + 1e-9)
+    bandwidth_floor = report.accesses.total_bytes / BOARD.bytes_per_cycle
+    assert report.throughput_interval_cycles >= bandwidth_floor * 0.999
+
+    # 6. Buffer accounting: requirement covers every block's ideal.
+    assert report.buffer_requirement_bytes >= sum(
+        block.ideal_buffer_bytes() for block in accelerator.blocks
+    )
+
+    # 7. Utilization stays physical.
+    assert 0.0 < report.pe_utilization <= 1.0
+
+
+@given(random_cnn())
+@settings(max_examples=30, deadline=None)
+def test_bram_monotonicity(graph):
+    """More BRAM never increases accesses or latency (water-fill sanity)."""
+    spec = ArchitectureSpec(
+        name="Mono",
+        blocks=(BlockSpec(1, graph.num_conv_layers, 2),),
+        coarse_pipelined=False,
+    )
+    previous_access = None
+    previous_latency = None
+    for bram_kib in (64, 256, 1024, 16384):
+        board = FPGABoard(
+            name=f"b{bram_kib}",
+            dsp_count=256,
+            bram_bytes=bram_kib * 1024,
+            bandwidth_gbps=4.0,
+        )
+        builder = MultipleCEBuilder(graph, board)
+        report = default_model().evaluate(builder.build(spec))
+        if previous_access is not None:
+            assert report.accesses.total_bytes <= previous_access
+            assert report.latency_cycles <= previous_latency * (1 + 1e-9)
+        previous_access = report.accesses.total_bytes
+        previous_latency = report.latency_cycles
+
+
+@given(random_cnn())
+@settings(max_examples=30, deadline=None)
+def test_bandwidth_monotonicity(graph):
+    """More bandwidth never hurts latency or throughput."""
+    spec = ArchitectureSpec(
+        name="Mono",
+        blocks=(BlockSpec(1, graph.num_conv_layers, 1),),
+        coarse_pipelined=False,
+    )
+    previous = None
+    for bandwidth in (1.0, 4.0, 16.0):
+        board = FPGABoard(
+            name=f"bw{bandwidth}",
+            dsp_count=128,
+            bram_bytes=512 * 1024,
+            bandwidth_gbps=bandwidth,
+        )
+        builder = MultipleCEBuilder(graph, board)
+        report = default_model().evaluate(builder.build(spec))
+        if previous is not None:
+            assert report.latency_cycles <= previous.latency_cycles * (1 + 1e-9)
+            assert report.throughput_fps >= previous.throughput_fps * (1 - 1e-9)
+        previous = report
+
+
+@given(random_cnn())
+@settings(max_examples=20, deadline=None)
+def test_simulator_agrees_on_random_cnns(graph):
+    """The reference simulator and the model stay within 2x on anything."""
+    from repro.synth.simulator import SynthesisSimulator
+
+    spec = ArchitectureSpec(
+        name="SimCheck",
+        blocks=(BlockSpec(1, graph.num_conv_layers, 2),),
+        coarse_pipelined=False,
+    )
+    builder = MultipleCEBuilder(graph, BOARD)
+    accelerator = builder.build(spec)
+    report = default_model().evaluate(accelerator)
+    simulation = SynthesisSimulator(accelerator).run()
+    assert simulation.access_bytes == report.accesses.total_bytes
+    assert simulation.latency_cycles >= report.latency_cycles
+    # Multiplicative agreement plus an additive allowance for the fixed
+    # per-stage overheads, which tiny random CNNs cannot amortize.
+    overhead_allowance = 5000.0 * len(simulation.segments)
+    assert simulation.latency_cycles <= 2.0 * report.latency_cycles + overhead_allowance
+    assert simulation.buffer_bytes >= report.buffer_requirement_bytes

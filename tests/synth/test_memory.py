@@ -1,0 +1,70 @@
+"""Tests for the simulator's memory port model."""
+
+import pytest
+
+from repro.synth.memory import BURST_BYTES, BURST_OVERHEAD_CYCLES, MemoryPort
+
+
+class TestTransferCycles:
+    def test_zero_bytes_free(self):
+        assert MemoryPort(16.0).transfer_cycles(0) == 0.0
+
+    def test_single_burst(self):
+        port = MemoryPort(16.0)
+        assert port.transfer_cycles(BURST_BYTES) == pytest.approx(
+            BURST_BYTES / 16.0 + BURST_OVERHEAD_CYCLES
+        )
+
+    def test_overhead_scales_with_bursts(self):
+        port = MemoryPort(16.0)
+        one = port.transfer_cycles(BURST_BYTES)
+        two = port.transfer_cycles(2 * BURST_BYTES)
+        assert two == pytest.approx(2 * one)
+
+    def test_small_transfers_least_efficient(self):
+        port = MemoryPort(16.0)
+        # Effective bandwidth of a tiny transfer is worse than a large one.
+        small_eff = 64 / port.transfer_cycles(64)
+        large_eff = (64 * BURST_BYTES) / port.transfer_cycles(64 * BURST_BYTES)
+        assert small_eff < large_eff
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MemoryPort(16.0).transfer_cycles(-1)
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ValueError):
+            MemoryPort(0.0)
+
+
+class TestRequestSerialization:
+    def test_back_to_back_requests_serialize(self):
+        port = MemoryPort(16.0)
+        first = port.request(0.0, BURST_BYTES)
+        second = port.request(0.0, BURST_BYTES)
+        assert second == pytest.approx(2 * first)
+
+    def test_idle_port_starts_immediately(self):
+        port = MemoryPort(16.0)
+        done = port.request(100.0, 16)
+        assert done == pytest.approx(100.0 + port.transfer_cycles(16))
+
+    def test_zero_byte_request_is_noop(self):
+        port = MemoryPort(16.0)
+        assert port.request(5.0, 0) == 5.0
+        assert port.total_bytes == 0
+
+    def test_accounting(self):
+        port = MemoryPort(16.0)
+        port.request(0.0, 100)
+        port.request(0.0, 200)
+        assert port.total_bytes == 300
+        assert port.busy_cycles > 0
+
+    def test_reset(self):
+        port = MemoryPort(16.0)
+        port.request(0.0, 100)
+        port.reset()
+        assert port.free_at == 0.0
+        assert port.total_bytes == 0
+        assert port.busy_cycles == 0.0

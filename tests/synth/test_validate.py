@@ -1,0 +1,97 @@
+"""Tests for the Eq. 10 accuracy computation and the Table IV summary."""
+
+import pytest
+
+from repro.synth.validate import (
+    VALIDATION_METRICS,
+    ValidationRecord,
+    ValidationSummary,
+    accuracy_percent,
+)
+from repro.utils.errors import ValidationError
+
+
+class TestAccuracyPercent:
+    def test_exact_match(self):
+        assert accuracy_percent(100.0, 100.0) == 100.0
+
+    def test_ten_percent_low(self):
+        assert accuracy_percent(100.0, 90.0) == pytest.approx(90.0)
+
+    def test_ten_percent_high(self):
+        assert accuracy_percent(100.0, 110.0) == pytest.approx(90.0)
+
+    def test_symmetric(self):
+        assert accuracy_percent(100.0, 80.0) == accuracy_percent(100.0, 120.0)
+
+    def test_can_go_negative(self):
+        assert accuracy_percent(100.0, 300.0) == pytest.approx(-100.0)
+
+    def test_rejects_zero_reference(self):
+        with pytest.raises(ValidationError):
+            accuracy_percent(0.0, 1.0)
+
+    def test_rejects_negative_estimate(self):
+        with pytest.raises(ValidationError):
+            accuracy_percent(1.0, -1.0)
+
+
+def make_record(architecture="segmented", buffers=95.0, latency=92.0):
+    return ValidationRecord(
+        architecture=architecture,
+        model="resnet50",
+        ce_count=2,
+        accuracies={
+            "buffers": buffers,
+            "latency": latency,
+            "throughput": 94.0,
+            "accesses": 100.0,
+        },
+    )
+
+
+class TestSummary:
+    def test_metrics_list(self):
+        assert VALIDATION_METRICS == ("buffers", "latency", "throughput", "accesses")
+
+    def test_stats(self):
+        summary = ValidationSummary()
+        summary.add(make_record(buffers=90.0))
+        summary.add(make_record(buffers=100.0))
+        assert summary.stat("buffers", "segmented", "max") == 100.0
+        assert summary.stat("buffers", "segmented", "min") == 90.0
+        assert summary.stat("buffers", "segmented", "average") == 95.0
+
+    def test_average_across_architectures(self):
+        summary = ValidationSummary()
+        summary.add(make_record(architecture="segmented", latency=90.0))
+        summary.add(make_record(architecture="hybrid", latency=100.0))
+        assert summary.average("latency") == 95.0
+
+    def test_architecture_order_preserved(self):
+        summary = ValidationSummary()
+        summary.add(make_record(architecture="hybrid"))
+        summary.add(make_record(architecture="segmented"))
+        assert summary.architectures() == ["hybrid", "segmented"]
+
+    def test_unknown_architecture(self):
+        summary = ValidationSummary()
+        summary.add(make_record())
+        with pytest.raises(ValidationError):
+            summary.stat("buffers", "mesh", "max")
+
+    def test_unknown_stat(self):
+        summary = ValidationSummary()
+        summary.add(make_record())
+        with pytest.raises(ValidationError):
+            summary.stat("buffers", "segmented", "median")
+
+    def test_empty_summary(self):
+        with pytest.raises(ValidationError):
+            ValidationSummary().average("latency")
+
+    def test_table_renders(self):
+        summary = ValidationSummary()
+        summary.add(make_record())
+        text = summary.table()
+        assert "buffers" in text and "segmented" in text and "%" in text

@@ -1,0 +1,38 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.utils.errors import (
+    MCCMError,
+    NotationError,
+    ResourceError,
+    ShapeError,
+    ValidationError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc", [NotationError, ResourceError, ShapeError, ValidationError]
+)
+def test_all_derive_from_base(exc):
+    assert issubclass(exc, MCCMError)
+    with pytest.raises(MCCMError):
+        raise exc("boom")
+
+
+def test_base_derives_from_exception():
+    assert issubclass(MCCMError, Exception)
+
+
+def test_catching_base_catches_library_errors():
+    from repro.api import evaluate
+
+    with pytest.raises(MCCMError):
+        evaluate("resnet50", "zc706", "segmented")  # missing ce_count
+
+
+def test_notation_errors_surface_through_api():
+    from repro.api import evaluate
+
+    with pytest.raises(NotationError):
+        evaluate("resnet50", "zc706", "{L1-L4 CE1}")

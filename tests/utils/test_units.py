@@ -1,0 +1,64 @@
+"""Tests for unit conversions."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.units import (
+    BYTES_PER_MIB,
+    MHZ,
+    bytes_to_mib,
+    gbps_to_bytes_per_cycle,
+    mib_to_bytes,
+    seconds_to_cycles,
+)
+
+
+class TestByteConversions:
+    def test_bytes_to_mib(self):
+        assert bytes_to_mib(BYTES_PER_MIB) == 1.0
+
+    def test_mib_to_bytes(self):
+        assert mib_to_bytes(2.5) == int(2.5 * BYTES_PER_MIB)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bytes_to_mib(-1)
+        with pytest.raises(ValueError):
+            mib_to_bytes(-0.5)
+
+    @given(st.integers(0, 10**12))
+    def test_round_trip(self, num_bytes):
+        assert mib_to_bytes(bytes_to_mib(num_bytes)) == pytest.approx(num_bytes, abs=1)
+
+
+class TestBandwidth:
+    def test_known_value(self):
+        # 19.2 GB/s at 200 MHz = 96 bytes per cycle.
+        assert gbps_to_bytes_per_cycle(19.2, 200 * MHZ) == pytest.approx(96.0)
+
+    def test_zc706_value(self):
+        assert gbps_to_bytes_per_cycle(3.2, 200 * MHZ) == pytest.approx(16.0)
+
+    def test_rejects_bad_clock(self):
+        with pytest.raises(ValueError):
+            gbps_to_bytes_per_cycle(1.0, 0.0)
+
+    def test_rejects_negative_bandwidth(self):
+        with pytest.raises(ValueError):
+            gbps_to_bytes_per_cycle(-1.0, 1.0)
+
+
+class TestSecondsToCycles:
+    def test_one_second_at_200mhz(self):
+        assert seconds_to_cycles(1.0, 200 * MHZ) == 200_000_000
+
+    def test_ceils_partial_cycles(self):
+        assert seconds_to_cycles(1.5 / MHZ, MHZ) == 2
+
+    def test_zero(self):
+        assert seconds_to_cycles(0.0, MHZ) == 0
+
+    def test_rejects_negative_seconds(self):
+        with pytest.raises(ValueError):
+            seconds_to_cycles(-1.0, MHZ)
