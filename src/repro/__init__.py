@@ -11,18 +11,29 @@ Quickstart::
     print(report.summary())
 """
 
-from repro.api import build_accelerator, evaluate, sweep
+from repro.api import (
+    SkippedConfig,
+    SweepResult,
+    build_accelerator,
+    evaluate,
+    sweep,
+)
 from repro.cnn.zoo import available_models, load_model
 from repro.core.cost.results import CostReport
 from repro.core.notation import ArchitectureSpec, parse_notation
 from repro.hw.boards import available_boards, get_board
+from repro.runtime import BatchEvaluator, RunStats
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "build_accelerator",
     "evaluate",
     "sweep",
+    "SweepResult",
+    "SkippedConfig",
+    "BatchEvaluator",
+    "RunStats",
     "available_models",
     "load_model",
     "CostReport",

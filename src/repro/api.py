@@ -11,6 +11,9 @@ description (template name, notation string, or explicit spec).
 
 from __future__ import annotations
 
+import logging
+from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterable, List, Optional, Union
 
 from repro.cnn.graph import CNNGraph
@@ -27,7 +30,11 @@ from repro.core.cost.results import CostReport
 from repro.core.notation import ArchitectureSpec, parse_notation
 from repro.hw.boards import FPGABoard, get_board
 from repro.hw.datatypes import DEFAULT_PRECISION, Precision
-from repro.utils.errors import MCCMError
+from repro.runtime import BatchEvaluator, ProgressCallback, RunStats
+from repro.runtime.fingerprint import context_fingerprint
+from repro.utils.errors import MCCMError, ResourceError
+
+logger = logging.getLogger(__name__)
 
 ModelLike = Union[str, CNNGraph]
 BoardLike = Union[str, FPGABoard]
@@ -90,32 +97,114 @@ def evaluate(
     return default_model().evaluate(accelerator)
 
 
+@dataclass(frozen=True)
+class SkippedConfig:
+    """One sweep configuration that could not be evaluated, and why."""
+
+    architecture: str
+    ce_count: int
+    reason: str
+
+
+class SweepResult(List[CostReport]):
+    """The reports of a sweep, plus what was skipped and how it ran.
+
+    Behaves exactly like the historical ``List[CostReport]`` return value
+    (iteration, indexing, ``len``) while carrying:
+
+    * ``skipped`` — the configurations dropped as infeasible, each with the
+      error message that caused it (no more silent swallowing);
+    * ``stats`` — the runtime's :class:`~repro.runtime.RunStats` for the
+      run (evaluations, cache hits, wall time, jobs).
+    """
+
+    def __init__(
+        self,
+        reports: Iterable[CostReport] = (),
+        skipped: Iterable[SkippedConfig] = (),
+        stats: Optional[RunStats] = None,
+    ) -> None:
+        super().__init__(reports)
+        self.skipped: List[SkippedConfig] = list(skipped)
+        self.stats: RunStats = stats if stats is not None else RunStats()
+
+
 def sweep(
     model: ModelLike,
     board: BoardLike,
     architectures: Optional[Iterable[str]] = None,
     ce_counts: Optional[Iterable[int]] = None,
     precision: Precision = DEFAULT_PRECISION,
-) -> List[CostReport]:
+    *,
+    jobs: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    progress: Optional[ProgressCallback] = None,
+    runtime: Optional[BatchEvaluator] = None,
+) -> SweepResult:
     """Evaluate the paper's baseline sweep: architectures x CE counts.
 
     Defaults to the paper's setup — the three Section II-C architectures and
     CE counts 2..11 (Section V-A3). Instances whose CE count is infeasible
-    for the CNN (e.g. SegmentedRR with more CEs than layers) are skipped.
+    for the CNN (e.g. SegmentedRR with more CEs than layers) are recorded in
+    the result's ``skipped`` list instead of being silently dropped.
+
+    ``jobs``/``cache_dir`` route the evaluations through a parallel,
+    memoizing :class:`~repro.runtime.BatchEvaluator`; ``jobs=1`` (default)
+    evaluates serially with results identical to the historical path.
     """
     graph = resolve_model(model)
     fpga = resolve_board(board)
-    builder = MultipleCEBuilder(graph, fpga, precision)
-    model_mccm = default_model()
+    if runtime is not None:
+        if jobs != 1 or cache_dir is not None:
+            raise ValueError(
+                "pass either an explicit runtime or jobs/cache_dir, not both "
+                "(the runtime already fixes its own parallelism and cache)"
+            )
+        if runtime.context != context_fingerprint(graph, fpga, precision):
+            raise ValueError(
+                "the explicit runtime was built for a different "
+                "model/board/precision than this sweep request"
+            )
+    evaluator = runtime or BatchEvaluator(
+        graph, fpga, precision, jobs=jobs, cache_dir=cache_dir
+    )
     names = list(architectures) if architectures is not None else list(PAPER_ARCHITECTURES)
     counts = list(ce_counts) if ce_counts is not None else list(PAPER_CE_COUNTS)
-    reports: List[CostReport] = []
+
+    skipped: List[SkippedConfig] = []
+    grid: List[tuple] = []
+    specs: List[ArchitectureSpec] = []
     for name in names:
         for count in counts:
             try:
-                spec = build_template(name, builder.conv_specs, count)
-                accelerator = builder.build(spec)
-            except MCCMError:
+                spec = build_template(name, evaluator.builder.conv_specs, count)
+            except ResourceError as error:
+                # Infeasible CE count for this CNN/template — the only
+                # error class a sweep is allowed to skip over.
+                skipped.append(SkippedConfig(name, count, str(error)))
+                logger.debug("sweep skipping %s x %d CEs: %s", name, count, error)
                 continue
-            reports.append(model_mccm.evaluate(accelerator))
-    return reports
+            grid.append((name, count))
+            specs.append(spec)
+
+    reports: List[CostReport] = []
+    try:
+        # stream first in the zip so its StopIteration (and stats
+        # finalization) fires before the zip ends.
+        for item, (name, count) in zip(evaluator.stream(specs, progress=progress), grid):
+            if item.report is None:
+                reason = item.reason or "infeasible"
+                skipped.append(SkippedConfig(name, count, reason))
+                logger.debug("sweep skipping %s x %d CEs: %s", name, count, reason)
+            else:
+                reports.append(item.report)
+    finally:
+        if runtime is None:
+            evaluator.close()
+    if skipped:
+        logger.info(
+            "sweep skipped %d of %d configurations (infeasible)",
+            len(skipped),
+            len(skipped) + len(reports),
+        )
+    return SweepResult(reports, skipped=skipped, stats=evaluator.last_run)

@@ -33,6 +33,37 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--board", required=True, help="board name, e.g. zc706")
 
 
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _add_runtime(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=_nonnegative_int,
+        default=1,
+        help="worker processes for evaluation (0 = one per CPU; default 1, serial)",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="persistent evaluation-cache directory (reused across runs)",
+    )
+
+
+def _print_run_stats(stats) -> None:
+    print(
+        f"[runtime] {stats.evaluations} evaluated, {stats.cache_hits} cache hits "
+        f"({100 * stats.hit_rate:.0f}%), {stats.elapsed_seconds:.2f}s "
+        f"with {stats.jobs} job(s)",
+        file=sys.stderr,
+    )
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     report = evaluate(args.model, args.board, args.arch, ce_count=args.ces)
     if args.json:
@@ -49,11 +80,26 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         args.board,
         architectures=args.arch or None,
         ce_counts=range(args.min_ces, args.max_ces + 1),
+        jobs=args.jobs,
+        cache_dir=args.cache,
     )
     if args.csv:
         print(reports_to_csv(reports), end="")
-    else:
+    elif reports:
         print(comparison_table(reports))
+    else:
+        print("no feasible configurations in this sweep", file=sys.stderr)
+    if reports.skipped:
+        print(
+            f"[runtime] skipped {len(reports.skipped)} infeasible configuration(s):",
+            file=sys.stderr,
+        )
+        for skip in reports.skipped:
+            print(
+                f"[runtime]   {skip.architecture} x {skip.ce_count} CEs: {skip.reason}",
+                file=sys.stderr,
+            )
+    _print_run_stats(reports.stats)
     return 0
 
 
@@ -72,14 +118,15 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 def _cmd_dse(args: argparse.Namespace) -> int:
     graph = resolve_model(args.model)
     board = resolve_board(args.board)
-    evaluator = DesignEvaluator(graph, board)
     space = CustomDesignSpace(graph.conv_specs())
-    result = random_search(
-        evaluator, space, samples=args.samples, seed=args.seed, cost_metric=args.cost
-    )
+    with DesignEvaluator(graph, board, jobs=args.jobs, cache_dir=args.cache) as evaluator:
+        result = random_search(
+            evaluator, space, samples=args.samples, seed=args.seed, cost_metric=args.cost
+        )
     print(
         f"space {space.size():,} designs; evaluated {result.stats.evaluated} "
-        f"at {result.stats.ms_per_design:.1f} ms/design"
+        f"at {result.stats.ms_per_design:.1f} ms/design "
+        f"({result.stats.cache_hits} cache hits, {result.stats.jobs} job(s))"
     )
     front = report_front([report for _d, report in result.evaluated], args.cost)
     for report in front:
@@ -129,6 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
     cmd.add_argument("--min-ces", type=int, default=2)
     cmd.add_argument("--max-ces", type=int, default=11)
     cmd.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
+    _add_runtime(cmd)
     cmd.set_defaults(func=_cmd_sweep)
 
     cmd = commands.add_parser("validate", help="accuracy vs reference simulator")
@@ -142,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
     cmd.add_argument("--samples", type=int, default=500)
     cmd.add_argument("--seed", type=int, default=0)
     cmd.add_argument("--cost", default="buffers", choices=["buffers", "access"])
+    _add_runtime(cmd)
     cmd.set_defaults(func=_cmd_dse)
 
     cmd = commands.add_parser("models", help="list zoo models")

@@ -12,7 +12,12 @@ import io
 import json
 from typing import Any, Dict, List, Sequence
 
-from repro.core.cost.results import CostReport
+from repro.core.cost.results import (
+    AccessBreakdown,
+    BlockEvaluation,
+    CostReport,
+    SegmentCost,
+)
 
 #: Columns of the CSV export, in order.
 CSV_COLUMNS = [
@@ -63,6 +68,10 @@ def report_to_dict(report: CostReport) -> Dict[str, Any]:
                 "throughput_interval_cycles": block.throughput_interval_cycles,
                 "buffer_requirement_bytes": block.buffer_requirement_bytes,
                 "buffer_allocated_bytes": block.buffer_allocated_bytes,
+                "access_bytes": {
+                    "weights": block.accesses.weight_bytes,
+                    "fms": block.accesses.fm_bytes,
+                },
             }
             for block in report.blocks
         ],
@@ -70,6 +79,7 @@ def report_to_dict(report: CostReport) -> Dict[str, Any]:
             {
                 "index": segment.index,
                 "label": segment.label,
+                "block": block_index,
                 "layers": list(segment.layer_indices),
                 "compute_cycles": segment.compute_cycles,
                 "memory_cycles": segment.memory_cycles,
@@ -77,9 +87,11 @@ def report_to_dict(report: CostReport) -> Dict[str, Any]:
                 "fm_access_bytes": segment.accesses.fm_bytes,
                 "pe_count": segment.pe_count,
                 "macs": segment.macs,
+                "buffer_requirement_bytes": segment.buffer_requirement_bytes,
                 "utilization": segment.utilization,
             }
-            for segment in report.segments
+            for block_index, block in enumerate(report.blocks)
+            for segment in block.segments
         ],
     }
 
@@ -87,6 +99,77 @@ def report_to_dict(report: CostReport) -> Dict[str, Any]:
 def report_to_json(report: CostReport, indent: int = 2) -> str:
     """One report as a JSON document."""
     return json.dumps(report_to_dict(report), indent=indent)
+
+
+def _segment_from_dict(data: Dict[str, Any]) -> SegmentCost:
+    return SegmentCost(
+        index=data["index"],
+        label=data["label"],
+        layer_indices=tuple(data["layers"]),
+        compute_cycles=data["compute_cycles"],
+        memory_cycles=data["memory_cycles"],
+        accesses=AccessBreakdown(
+            weight_bytes=data["weight_access_bytes"],
+            fm_bytes=data["fm_access_bytes"],
+        ),
+        pe_count=data["pe_count"],
+        macs=data["macs"],
+        buffer_requirement_bytes=data["buffer_requirement_bytes"],
+    )
+
+
+def report_from_dict(data: Dict[str, Any]) -> CostReport:
+    """Rebuild a :class:`CostReport` from a :func:`report_to_dict` dump.
+
+    The inverse of :func:`report_to_dict`; powers the runtime's on-disk
+    evaluation cache. Derived quantities (FPS, utilization, ...) are
+    recomputed from the stored primaries, not read back.
+    """
+    segments_by_block: Dict[int, List[SegmentCost]] = {}
+    for segment_data in data["segments"]:
+        segments_by_block.setdefault(segment_data["block"], []).append(
+            _segment_from_dict(segment_data)
+        )
+    blocks = tuple(
+        BlockEvaluation(
+            name=block_data["name"],
+            kind=block_data["kind"],
+            segments=tuple(segments_by_block.get(block_index, ())),
+            latency_cycles=block_data["latency_cycles"],
+            throughput_interval_cycles=block_data["throughput_interval_cycles"],
+            accesses=AccessBreakdown(
+                weight_bytes=block_data["access_bytes"]["weights"],
+                fm_bytes=block_data["access_bytes"]["fms"],
+            ),
+            buffer_requirement_bytes=block_data["buffer_requirement_bytes"],
+            buffer_allocated_bytes=block_data["buffer_allocated_bytes"],
+            pe_count=block_data["pe_count"],
+        )
+        for block_index, block_data in enumerate(data["blocks"])
+    )
+    return CostReport(
+        accelerator_name=data["accelerator"],
+        model_name=data["model"],
+        board_name=data["board"],
+        clock_hz=data["clock_hz"],
+        latency_cycles=data["latency_cycles"],
+        throughput_interval_cycles=data["throughput_interval_cycles"],
+        buffer_requirement_bytes=data["buffer_requirement_bytes"],
+        buffer_allocated_bytes=data["buffer_allocated_bytes"],
+        accesses=AccessBreakdown(
+            weight_bytes=data["access_bytes"]["weights"],
+            fm_bytes=data["access_bytes"]["fms"],
+        ),
+        blocks=blocks,
+        total_pes=data["total_pes"],
+        fits_onchip=data["fits_onchip"],
+        notation=data["notation"],
+    )
+
+
+def report_from_json(text: str) -> CostReport:
+    """Rebuild a report from its :func:`report_to_json` document."""
+    return report_from_dict(json.loads(text))
 
 
 def _csv_row(report: CostReport) -> List[Any]:

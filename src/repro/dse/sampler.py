@@ -1,24 +1,26 @@
 """Design-space sampling and evaluation (the Fig. 10 experiment driver).
 
-Couples a :class:`~repro.dse.space.CustomDesignSpace` with a builder and
-the MCCM model; evaluation results are cached by design key so local search
-revisiting a neighbourhood pays nothing.
+Couples a :class:`~repro.dse.space.CustomDesignSpace` with the
+:class:`~repro.runtime.BatchEvaluator` runtime: evaluations are
+fingerprint-memoized (so local search revisiting a neighbourhood pays
+nothing), optionally persisted to disk, and — with ``jobs > 1`` — fanned
+out over a worker pool without changing which designs get sampled.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
 
 from repro.cnn.graph import CNNGraph
 from repro.core.builder import MultipleCEBuilder
-from repro.core.cost.model import default_model
 from repro.core.cost.results import CostReport
 from repro.dse.space import CustomDesign, CustomDesignSpace
 from repro.hw.boards import FPGABoard
 from repro.hw.datatypes import DEFAULT_PRECISION, Precision
-from repro.utils.errors import MCCMError
+from repro.runtime import BatchEvaluator, ProgressCallback
 
 
 @dataclass
@@ -28,6 +30,10 @@ class SampleStats:
     evaluated: int
     failed: int
     elapsed_seconds: float
+    #: Designs answered from the runtime cache rather than re-evaluated.
+    cache_hits: int = 0
+    #: Worker processes used (1 = the serial path).
+    jobs: int = 1
 
     @property
     def ms_per_design(self) -> float:
@@ -37,34 +43,56 @@ class SampleStats:
 
 
 class DesignEvaluator:
-    """Builds and costs custom designs with memoization."""
+    """Builds and costs custom designs through the cached runtime.
+
+    A thin DSE-facing veneer over :class:`~repro.runtime.BatchEvaluator`:
+    it lowers :class:`CustomDesign` points to architecture specs and keeps
+    the historical one-design-at-a-time interface alongside the batched
+    one the searchers now use.
+    """
 
     def __init__(
         self,
         graph: CNNGraph,
         board: FPGABoard,
         precision: Precision = DEFAULT_PRECISION,
+        *,
+        jobs: int = 1,
+        cache_dir: Optional[Union[str, Path]] = None,
+        runtime: Optional[BatchEvaluator] = None,
     ) -> None:
-        self._builder = MultipleCEBuilder(graph, board, precision)
-        self._model = default_model()
-        self._cache: Dict[Tuple[int, Tuple[int, ...]], Optional[CostReport]] = {}
+        self._runtime = runtime or BatchEvaluator(
+            graph, board, precision, jobs=jobs, cache_dir=cache_dir
+        )
 
     @property
     def builder(self) -> MultipleCEBuilder:
-        return self._builder
+        return self._runtime.builder
+
+    @property
+    def runtime(self) -> BatchEvaluator:
+        return self._runtime
 
     def evaluate(self, design: CustomDesign) -> Optional[CostReport]:
         """Cost one design; ``None`` when the design is infeasible."""
-        key = (design.pipelined_layers, design.cuts)
-        if key in self._cache:
-            return self._cache[key]
-        try:
-            accelerator = self._builder.build(design.to_spec())
-            report = self._model.evaluate(accelerator)
-        except MCCMError:
-            report = None
-        self._cache[key] = report
-        return report
+        return self._runtime.evaluate_spec(design.to_spec())
+
+    def evaluate_batch(
+        self,
+        designs: List[CustomDesign],
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[Optional[CostReport]]:
+        """Cost many designs at once (parallel when the runtime has jobs)."""
+        return self._runtime.evaluate_designs(designs, progress=progress)
+
+    def close(self) -> None:
+        self._runtime.close()
+
+    def __enter__(self) -> "DesignEvaluator":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
 
 
 def sample_space(
@@ -72,18 +100,28 @@ def sample_space(
     space: CustomDesignSpace,
     count: int,
     seed: int = 0,
+    progress: Optional[ProgressCallback] = None,
 ) -> Tuple[List[Tuple[CustomDesign, CostReport]], SampleStats]:
-    """Evaluate a random sample of the space; returns results and stats."""
-    results: List[Tuple[CustomDesign, CostReport]] = []
-    failed = 0
+    """Evaluate a random sample of the space; returns results and stats.
+
+    The sample itself is drawn up front from the seeded space generator, so
+    the set of designs — and therefore the results — is independent of the
+    evaluator's parallelism.
+    """
+    designs = list(space.sample(count, seed=seed))
     start = time.perf_counter()
-    for design in space.sample(count, seed=seed):
-        report = evaluator.evaluate(design)
-        if report is None:
-            failed += 1
-            continue
-        results.append((design, report))
+    reports = evaluator.evaluate_batch(designs, progress=progress)
     elapsed = time.perf_counter() - start
+    results: List[Tuple[CustomDesign, CostReport]] = [
+        (design, report)
+        for design, report in zip(designs, reports)
+        if report is not None
+    ]
+    run = evaluator.runtime.last_run
     return results, SampleStats(
-        evaluated=len(results), failed=failed, elapsed_seconds=elapsed
+        evaluated=len(results),
+        failed=len(designs) - len(results),
+        elapsed_seconds=elapsed,
+        cache_hits=run.cache_hits,
+        jobs=run.jobs,
     )

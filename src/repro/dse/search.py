@@ -80,12 +80,17 @@ def local_search(
     current_report = evaluator.evaluate(current)
     current_score = objective.score(current_report) if current_report else float("-inf")
     for _ in range(iterations):
+        # Draw the whole neighbourhood first: mutation only consumes the
+        # seeded rng, so the candidate set is identical whether the batch
+        # below is evaluated serially or on a worker pool — and the
+        # first-best tie-break over the ordered batch keeps the walk
+        # deterministic for any jobs count.
+        candidates = [space.mutate(current, rng) for _ in range(neighbours)]
+        reports = evaluator.evaluate_batch(candidates)
         best_candidate = None
         best_report = None
         best_score = current_score
-        for _ in range(neighbours):
-            candidate = space.mutate(current, rng)
-            report = evaluator.evaluate(candidate)
+        for candidate, report in zip(candidates, reports):
             if report is None:
                 continue
             score = objective.score(report)

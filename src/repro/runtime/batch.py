@@ -1,0 +1,366 @@
+"""Parallel, cached batch evaluation of architecture specs.
+
+The paper's methodology banks on MCCM evaluations being cheap enough to
+spend freely (Section V-E: ~6 ms/design); this module makes the library
+spend them *well*:
+
+* every request is fingerprinted (:mod:`repro.runtime.fingerprint`) and
+  memoized through an in-memory LRU plus an optional on-disk JSON cache,
+  so sweeps, local search, and repeated CLI runs never re-evaluate a
+  design they have already seen;
+* cache misses fan out over a ``multiprocessing`` worker pool with
+  chunked dispatch, while results stream back to the caller **in request
+  order** so downstream code stays deterministic;
+* every batch records :class:`RunStats` (evaluations, cache hits, wall
+  time) and can report incremental progress through a callback.
+
+``jobs=1`` short-circuits the pool entirely and evaluates inline with the
+same builder/model objects a serial caller would use, so single-process
+results are bit-identical to the pre-runtime code path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.cnn.graph import CNNGraph
+from repro.core.builder import MultipleCEBuilder
+from repro.core.cost.model import default_model
+from repro.core.cost.results import CostReport
+from repro.core.notation import ArchitectureSpec
+from repro.hw.boards import FPGABoard
+from repro.hw.datatypes import DEFAULT_PRECISION, Precision
+from repro.runtime.cache import CacheEntry, DiskCache, LRUCache
+from repro.runtime.fingerprint import context_fingerprint, spec_fingerprint
+from repro.utils.errors import ResourceError
+
+#: ``progress(completed, total)`` — invoked after each item of a batch.
+ProgressCallback = Callable[[int, int], None]
+
+
+@dataclass
+class RunStats:
+    """Accounting for one batch (or one evaluator's lifetime)."""
+
+    submitted: int = 0
+    #: Designs actually built and costed (cache misses).
+    evaluations: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    infeasible: int = 0
+    elapsed_seconds: float = 0.0
+    jobs: int = 1
+
+    @property
+    def cache_hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.submitted if self.submitted else 0.0
+
+    @property
+    def ms_per_design(self) -> float:
+        if self.submitted == 0:
+            return 0.0
+        return 1000.0 * self.elapsed_seconds / self.submitted
+
+    def absorb(self, other: "RunStats") -> None:
+        """Fold another run's counters into this one (for lifetime totals)."""
+        self.submitted += other.submitted
+        self.evaluations += other.evaluations
+        self.memory_hits += other.memory_hits
+        self.disk_hits += other.disk_hits
+        self.infeasible += other.infeasible
+        self.elapsed_seconds += other.elapsed_seconds
+        self.jobs = max(self.jobs, other.jobs)
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """One finalized result of a streamed batch, in request order."""
+
+    index: int
+    spec: ArchitectureSpec
+    report: Optional[CostReport]
+    reason: Optional[str] = None
+    cached: bool = False
+
+    @property
+    def feasible(self) -> bool:
+        return self.report is not None
+
+
+# --- worker-process plumbing -------------------------------------------------
+# Workers rebuild the (builder, model) pair once at pool start; tasks then
+# carry only the lightweight ArchitectureSpec.
+
+_WORKER_STATE: Optional[Tuple[MultipleCEBuilder, object]] = None
+
+
+def _worker_init(graph: CNNGraph, board: FPGABoard, precision: Precision) -> None:
+    global _WORKER_STATE
+    _WORKER_STATE = (MultipleCEBuilder(graph, board, precision), default_model())
+
+
+def _evaluate_with(
+    builder: MultipleCEBuilder, model, spec: ArchitectureSpec
+) -> CacheEntry:
+    # Only resource exhaustion marks a design infeasible. Other MCCMError
+    # subclasses (shape/notation/validation problems) indicate a bad request
+    # or a genuine bug and must propagate — caching them as "infeasible"
+    # would persist a bogus verdict.
+    try:
+        report = model.evaluate(builder.build(spec))
+    except ResourceError as error:
+        return CacheEntry(report=None, reason=f"{type(error).__name__}: {error}")
+    return CacheEntry(report=report)
+
+
+def _worker_evaluate(spec: ArchitectureSpec) -> CacheEntry:
+    assert _WORKER_STATE is not None, "worker pool not initialized"
+    builder, model = _WORKER_STATE
+    return _evaluate_with(builder, model, spec)
+
+
+class BatchEvaluator:
+    """Fingerprinted, memoized, optionally parallel spec evaluation.
+
+    Parameters
+    ----------
+    graph, board, precision:
+        The evaluation context; fixed for the evaluator's lifetime and
+        folded into every cache key.
+    jobs:
+        Worker processes. ``1`` (default) evaluates inline — bit-identical
+        to the historical serial path. ``0`` means "one per CPU".
+    cache_entries:
+        Capacity of the in-memory LRU.
+    cache_dir:
+        Optional directory for the persistent JSON cache shared across
+        processes and runs.
+    progress:
+        Default per-batch progress callback; overridable per call.
+    """
+
+    def __init__(
+        self,
+        graph: CNNGraph,
+        board: FPGABoard,
+        precision: Precision = DEFAULT_PRECISION,
+        *,
+        jobs: int = 1,
+        cache_entries: int = 65536,
+        cache_dir: Optional[Union[str, Path]] = None,
+        chunk_size: Optional[int] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
+        if jobs < 0:
+            raise ValueError(f"jobs must be >= 0, got {jobs}")
+        self.graph = graph
+        self.board = board
+        self.precision = precision
+        self.jobs = jobs if jobs > 0 else (multiprocessing.cpu_count() or 1)
+        self.chunk_size = chunk_size
+        self.progress = progress
+        self._builder = MultipleCEBuilder(graph, board, precision)
+        self._model = default_model()
+        self._context = context_fingerprint(graph, board, precision)
+        self._memory = LRUCache(max_entries=cache_entries)
+        self._disk = DiskCache(cache_dir) if cache_dir is not None else None
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+        self.last_run = RunStats(jobs=self.jobs)
+        self.totals = RunStats(jobs=self.jobs)
+
+    # --- lifecycle -----------------------------------------------------------
+    @property
+    def builder(self) -> MultipleCEBuilder:
+        return self._builder
+
+    def _ensure_pool(self) -> "multiprocessing.pool.Pool":
+        if self._pool is None:
+            self._pool = multiprocessing.Pool(
+                processes=self.jobs,
+                initializer=_worker_init,
+                initargs=(self.graph, self.board, self.precision),
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Tear down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "BatchEvaluator":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # --- cache plumbing ------------------------------------------------------
+    @property
+    def context(self) -> str:
+        """Fingerprint of this evaluator's (CNN, board, precision) context."""
+        return self._context
+
+    def key_for(self, spec: ArchitectureSpec) -> str:
+        """The stable fingerprint this evaluator uses for ``spec``."""
+        return spec_fingerprint(self._context, spec)
+
+    def _lookup(self, key: str, stats: RunStats) -> Optional[CacheEntry]:
+        entry = self._memory.get(key)
+        if entry is not None:
+            stats.memory_hits += 1
+            return entry
+        if self._disk is not None:
+            entry = self._disk.get(key)
+            if entry is not None:
+                stats.disk_hits += 1
+                self._memory.put(key, entry)
+                return entry
+        return None
+
+    def _store(self, key: str, entry: CacheEntry) -> None:
+        self._memory.put(key, entry)
+        if self._disk is not None:
+            self._disk.put(key, entry)
+
+    # --- evaluation ----------------------------------------------------------
+    def stream(
+        self,
+        specs: Iterable[ArchitectureSpec],
+        progress: Optional[ProgressCallback] = None,
+    ) -> Iterator[BatchItem]:
+        """Evaluate ``specs``, yielding :class:`BatchItem` in request order.
+
+        Cache hits yield immediately; misses are dispatched to the worker
+        pool (when ``jobs > 1``) and merged back in order as they finish.
+        Duplicate specs within one batch are evaluated once.
+        """
+        spec_list = list(specs)
+        total = len(spec_list)
+        callback = progress if progress is not None else self.progress
+        stats = RunStats(submitted=total, jobs=self.jobs)
+        self.last_run = stats
+        start = time.perf_counter()
+
+        keys = [self.key_for(spec) for spec in spec_list]
+        resolved: dict = {}
+        cached_keys = set()
+        pending: List[Tuple[str, ArchitectureSpec]] = []
+        pending_seen = set()
+        for key, spec in zip(keys, spec_list):
+            if key in resolved or key in pending_seen:
+                continue
+            entry = self._lookup(key, stats)
+            if entry is not None:
+                resolved[key] = entry
+                cached_keys.add(key)
+            else:
+                pending_seen.add(key)
+                pending.append((key, spec))
+
+        inflight = zip(
+            (key for key, _spec in pending),
+            self._dispatch([spec for _key, spec in pending]),
+        )
+
+        yielded = set()
+        try:
+            for index, (key, spec) in enumerate(zip(keys, spec_list)):
+                while key not in resolved:
+                    ready_key, entry = next(inflight)
+                    stats.evaluations += 1
+                    if not entry.feasible:
+                        stats.infeasible += 1
+                    self._store(ready_key, entry)
+                    resolved[ready_key] = entry
+                entry = resolved[key]
+                duplicate = key in yielded
+                if duplicate:
+                    # Later occurrence of a spec already handled this batch:
+                    # memoized, so account it as an in-memory hit.
+                    stats.memory_hits += 1
+                yielded.add(key)
+                stats.elapsed_seconds = time.perf_counter() - start
+                if callback is not None:
+                    callback(index + 1, total)
+                yield BatchItem(
+                    index=index,
+                    spec=spec,
+                    report=entry.report,
+                    reason=entry.reason,
+                    cached=duplicate or key in cached_keys,
+                )
+        finally:
+            stats.elapsed_seconds = time.perf_counter() - start
+            self.totals.absorb(stats)
+
+    def _dispatch(
+        self, specs: Sequence[ArchitectureSpec]
+    ) -> Iterator[CacheEntry]:
+        """Evaluate cache misses — inline when serial, pooled when not."""
+        if not specs:
+            return iter(())
+        if self.jobs == 1 or len(specs) == 1:
+            return (
+                _evaluate_with(self._builder, self._model, spec) for spec in specs
+            )
+        pool = self._ensure_pool()
+        if self.chunk_size is not None:
+            chunk = self.chunk_size
+        else:
+            chunk = max(1, min(32, len(specs) // (self.jobs * 4) or 1))
+        return pool.imap(_worker_evaluate, specs, chunksize=chunk)
+
+    def evaluate_specs(
+        self,
+        specs: Iterable[ArchitectureSpec],
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[Optional[CostReport]]:
+        """Batch evaluate; ``None`` marks infeasible specs (request order)."""
+        return [item.report for item in self.stream(specs, progress=progress)]
+
+    def evaluate_spec(self, spec: ArchitectureSpec) -> Optional[CostReport]:
+        """Evaluate one spec through the cache (no pool round-trip)."""
+        return self.evaluate_specs([spec])[0]
+
+    def evaluate_entry(self, spec: ArchitectureSpec) -> CacheEntry:
+        """Like :meth:`evaluate_spec` but keeps the infeasibility reason."""
+        # Exhaust the stream so its stats finalization runs deterministically
+        # rather than at garbage collection.
+        item = list(self.stream([spec]))[0]
+        return CacheEntry(report=item.report, reason=item.reason)
+
+    # --- DSE conveniences ----------------------------------------------------
+    def evaluate_designs(self, designs: Iterable, progress=None) -> List[Optional[CostReport]]:
+        """Batch evaluate :class:`~repro.dse.space.CustomDesign` points."""
+        return self.evaluate_specs(
+            [design.to_spec() for design in designs], progress=progress
+        )
+
+    def cache_info(self) -> dict:
+        """Introspection snapshot used by the CLI and benchmarks."""
+        info = {
+            "memory_entries": len(self._memory),
+            "memory_hits": self._memory.hits,
+            "memory_misses": self._memory.misses,
+            "jobs": self.jobs,
+        }
+        if self._disk is not None:
+            info["disk_dir"] = str(self._disk.directory)
+            info["disk_hits"] = self._disk.hits
+            info["disk_misses"] = self._disk.misses
+        return info

@@ -1,0 +1,146 @@
+"""Evaluation caches: in-memory LRU in front of an optional on-disk store.
+
+Both layers map a fingerprint (see :mod:`repro.runtime.fingerprint`) to a
+:class:`CacheEntry` — either a full :class:`~repro.core.cost.results.CostReport`
+or a recorded infeasibility, so known-infeasible designs are not rebuilt
+just to fail again.
+
+The disk cache writes one JSON document per key, sharded into 256
+two-hex-digit subdirectories to keep directory listings sane at DSE scale,
+and writes atomically (tempfile + rename) so concurrent runs sharing a
+cache directory never observe torn files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.cost.export import report_from_dict, report_to_dict
+from repro.core.cost.results import CostReport
+from repro.utils.errors import MCCMError
+
+#: Format marker stored inside every disk-cache document.
+DISK_CACHE_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One memoized evaluation outcome.
+
+    ``report is None`` means the design was infeasible; ``reason`` then
+    carries the error message so callers can surface *why* it was skipped.
+    """
+
+    report: Optional[CostReport]
+    reason: Optional[str] = None
+
+    @property
+    def feasible(self) -> bool:
+        return self.report is not None
+
+
+class LRUCache:
+    """A size-bounded least-recently-used map of fingerprint -> entry."""
+
+    def __init__(self, max_entries: int = 65536) -> None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[CacheEntry]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, entry: CacheEntry) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class DiskCache:
+    """One-JSON-file-per-key persistent store under a cache directory."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        except OSError as error:
+            raise MCCMError(
+                f"cannot use {self.directory!s} as an evaluation cache "
+                f"directory: {error}"
+            ) from error
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[CacheEntry]:
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if payload.get("format") != DISK_CACHE_FORMAT:
+            self.misses += 1
+            return None
+        self.hits += 1
+        if payload.get("report") is None:
+            return CacheEntry(report=None, reason=payload.get("reason"))
+        return CacheEntry(report=report_from_dict(payload["report"]))
+
+    def put(self, key: str, entry: CacheEntry) -> None:
+        payload = {
+            "format": DISK_CACHE_FORMAT,
+            "key": key,
+            "report": report_to_dict(entry.report) if entry.report else None,
+            "reason": entry.reason,
+        }
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, temp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(handle, "w") as stream:
+                json.dump(payload, stream)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        # Exclude .tmp-* files a killed run may have orphaned mid-write.
+        return sum(
+            1
+            for path in self.directory.glob("*/*.json")
+            if not path.name.startswith(".")
+        )

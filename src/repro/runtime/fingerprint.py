@@ -1,0 +1,96 @@
+"""Stable fingerprints for evaluation requests.
+
+A cache key must identify everything the cost model's output depends on:
+the CNN's convolution workload, the FPGA resource budget, the arithmetic
+precision, and the architecture spec being evaluated. The fingerprint is a
+SHA-256 digest of a canonical JSON rendering of those inputs, so keys are
+
+* stable across processes and python versions (no ``hash()`` randomization),
+* insensitive to object identity (two equal specs share a key), and
+* safe to use as on-disk file names.
+
+``CACHE_SCHEMA_VERSION`` is folded into every digest; bump it whenever the
+cost model's semantics change so stale on-disk caches invalidate themselves.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+from dataclasses import asdict
+from typing import Any, Dict
+
+from repro.cnn.graph import CNNGraph
+from repro.core.notation import ArchitectureSpec
+from repro.hw.boards import FPGABoard
+from repro.hw.datatypes import Precision
+
+#: Bump when CostReport semantics or the cost model change incompatibly.
+CACHE_SCHEMA_VERSION = 1
+
+
+def _spec_payload(spec: ArchitectureSpec) -> Dict[str, Any]:
+    return {
+        "name": spec.name,
+        "coarse_pipelined": spec.coarse_pipelined,
+        "dual_tail": spec.dual_tail,
+        "blocks": [
+            [block.start_layer, block.end_layer, block.ce_count, block.ce_id]
+            for block in spec.blocks
+        ],
+    }
+
+
+def context_payload(
+    graph: CNNGraph, board: FPGABoard, precision: Precision
+) -> Dict[str, Any]:
+    """The per-(CNN, board, precision) part of every fingerprint.
+
+    The CNN contributes its name and the full conv-spec list — the only
+    graph information the cost model consumes — so two graphs that cost
+    identically share a context.
+    """
+    return {
+        "schema": CACHE_SCHEMA_VERSION,
+        "model": graph.name,
+        "conv_specs": [asdict(spec) for spec in graph.conv_specs()],
+        "board": asdict(board),
+        "precision": asdict(precision),
+    }
+
+
+def _jsonify(value: Any) -> Any:
+    """Canonical encoding for non-JSON leaves (enums, mostly)."""
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    raise TypeError(f"cannot fingerprint value of type {type(value).__name__}")
+
+
+def _digest(payload: Any) -> str:
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=_jsonify
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def context_fingerprint(
+    graph: CNNGraph, board: FPGABoard, precision: Precision
+) -> str:
+    """Digest of the evaluation context (CNN + board + precision)."""
+    return _digest(context_payload(graph, board, precision))
+
+
+def spec_fingerprint(context: str, spec: ArchitectureSpec) -> str:
+    """Cache key for one architecture spec under a context fingerprint."""
+    return _digest({"context": context, "spec": _spec_payload(spec)})
+
+
+def fingerprint(
+    graph: CNNGraph,
+    board: FPGABoard,
+    precision: Precision,
+    spec: ArchitectureSpec,
+) -> str:
+    """One-shot cache key; prefer the split form when batching many specs."""
+    return spec_fingerprint(context_fingerprint(graph, board, precision), spec)

@@ -1,0 +1,166 @@
+"""Tests for the BatchEvaluator: accounting, parallelism, persistence."""
+
+import pytest
+
+from repro.core.architectures import build_template
+from repro.runtime import BatchEvaluator
+
+
+@pytest.fixture(scope="module")
+def context(roomy_board):
+    from tests.conftest import build_tiny_cnn
+
+    cnn = build_tiny_cnn()
+    return cnn, roomy_board
+
+
+@pytest.fixture(scope="module")
+def specs(context):
+    cnn, _board = context
+    conv_specs = cnn.conv_specs()
+    return [build_template("segmented", conv_specs, n) for n in (2, 3, 4, 5)]
+
+
+class TestAccounting:
+    def test_first_batch_all_misses(self, context, specs):
+        cnn, board = context
+        evaluator = BatchEvaluator(cnn, board)
+        reports = evaluator.evaluate_specs(specs)
+        assert all(report is not None for report in reports)
+        stats = evaluator.last_run
+        assert stats.submitted == len(specs)
+        assert stats.evaluations == len(specs)
+        assert stats.cache_hits == 0
+        assert stats.elapsed_seconds > 0.0
+
+    def test_second_batch_all_hits(self, context, specs):
+        cnn, board = context
+        evaluator = BatchEvaluator(cnn, board)
+        first = evaluator.evaluate_specs(specs)
+        second = evaluator.evaluate_specs(specs)
+        stats = evaluator.last_run
+        assert stats.evaluations == 0
+        assert stats.memory_hits == len(specs)
+        assert stats.hit_rate == 1.0
+        # cache hits return the very same objects
+        assert all(a is b for a, b in zip(first, second))
+
+    def test_duplicates_within_batch_counted_as_hits(self, context, specs):
+        cnn, board = context
+        evaluator = BatchEvaluator(cnn, board)
+        doubled = list(specs) + list(specs)
+        reports = evaluator.evaluate_specs(doubled)
+        stats = evaluator.last_run
+        assert stats.submitted == 2 * len(specs)
+        assert stats.evaluations == len(specs)
+        assert stats.memory_hits == len(specs)
+        assert reports[: len(specs)] == reports[len(specs) :]
+
+    def test_totals_accumulate(self, context, specs):
+        cnn, board = context
+        evaluator = BatchEvaluator(cnn, board)
+        evaluator.evaluate_specs(specs)
+        evaluator.evaluate_specs(specs)
+        assert evaluator.totals.submitted == 2 * len(specs)
+        assert evaluator.totals.evaluations == len(specs)
+        assert evaluator.totals.cache_hits == len(specs)
+
+    def test_infeasible_recorded_with_reason(self, context):
+        from repro.hw.boards import FPGABoard
+
+        cnn, _board = context
+        # 4 PEs cannot host 8 CEs: building this design must fail cleanly
+        starved = FPGABoard(
+            name="starved", dsp_count=4, bram_bytes=4 * 1024, bandwidth_gbps=0.1
+        )
+        evaluator = BatchEvaluator(cnn, starved)
+        bad = build_template("segmented", cnn.conv_specs(), 8)
+        entry = evaluator.evaluate_entry(bad)
+        assert entry.report is None
+        assert "8 CEs exceed" in entry.reason
+        assert evaluator.last_run.infeasible == 1
+
+    def test_non_resource_errors_propagate(self, context):
+        from repro.core.notation import parse_notation
+        from repro.utils.errors import NotationError
+
+        cnn, board = context
+        evaluator = BatchEvaluator(cnn, board)
+        # Covers only 4 of the 8 conv layers: a caller error, not an
+        # infeasible design — it must raise, never be cached as a skip.
+        with pytest.raises(NotationError):
+            evaluator.evaluate_spec(parse_notation("{L1-L4: CE1}"))
+
+    def test_progress_callback_sees_every_item(self, context, specs):
+        cnn, board = context
+        seen = []
+        evaluator = BatchEvaluator(
+            cnn, board, progress=lambda done, total: seen.append((done, total))
+        )
+        evaluator.evaluate_specs(specs)
+        assert seen == [(i + 1, len(specs)) for i in range(len(specs))]
+
+    def test_stream_yields_in_request_order(self, context, specs):
+        cnn, board = context
+        evaluator = BatchEvaluator(cnn, board)
+        items = list(evaluator.stream(specs))
+        assert [item.index for item in items] == list(range(len(specs)))
+        assert [item.spec for item in items] == list(specs)
+
+
+class TestParallel:
+    def test_parallel_equals_serial(self, context, specs):
+        cnn, board = context
+        serial = BatchEvaluator(cnn, board, jobs=1).evaluate_specs(specs)
+        with BatchEvaluator(cnn, board, jobs=2) as evaluator:
+            parallel = evaluator.evaluate_specs(specs)
+        assert parallel == serial  # deep dataclass equality, bit-identical
+
+    def test_parallel_results_feed_cache(self, context, specs):
+        cnn, board = context
+        with BatchEvaluator(cnn, board, jobs=2) as evaluator:
+            evaluator.evaluate_specs(specs)
+            evaluator.evaluate_specs(specs)
+            assert evaluator.last_run.memory_hits == len(specs)
+
+    def test_jobs_zero_means_cpu_count(self, context):
+        cnn, board = context
+        evaluator = BatchEvaluator(cnn, board, jobs=0)
+        assert evaluator.jobs >= 1
+
+    def test_rejects_negative_jobs(self, context):
+        cnn, board = context
+        with pytest.raises(ValueError):
+            BatchEvaluator(cnn, board, jobs=-1)
+
+
+class TestDiskPersistence:
+    def test_cold_start_reads_disk(self, context, specs, tmp_path):
+        cnn, board = context
+        cache_dir = tmp_path / "cache"
+        first = BatchEvaluator(cnn, board, cache_dir=cache_dir)
+        warm = first.evaluate_specs(specs)
+        assert first.last_run.evaluations == len(specs)
+
+        second = BatchEvaluator(cnn, board, cache_dir=cache_dir)
+        cold = second.evaluate_specs(specs)
+        assert second.last_run.evaluations == 0
+        assert second.last_run.disk_hits == len(specs)
+        assert cold == warm
+
+    def test_disk_entries_are_sharded_json(self, context, specs, tmp_path):
+        cnn, board = context
+        cache_dir = tmp_path / "cache"
+        BatchEvaluator(cnn, board, cache_dir=cache_dir).evaluate_specs(specs)
+        files = list(cache_dir.glob("*/*.json"))
+        assert len(files) == len(specs)
+        assert all(len(path.parent.name) == 2 for path in files)
+
+    def test_contexts_do_not_collide(self, context, specs, tmp_path, small_board):
+        cnn, board = context
+        cache_dir = tmp_path / "cache"
+        BatchEvaluator(cnn, board, cache_dir=cache_dir).evaluate_specs(specs)
+        other = BatchEvaluator(cnn, small_board, cache_dir=cache_dir)
+        other.evaluate_specs(specs)
+        # same specs, different board: nothing may come back from disk
+        assert other.last_run.disk_hits == 0

@@ -1,0 +1,118 @@
+"""Tests for the LRU and on-disk evaluation caches."""
+
+import json
+
+import pytest
+
+from repro.api import evaluate
+from repro.core.cost.export import report_from_dict, report_from_json, report_to_dict, report_to_json
+from repro.runtime.cache import CacheEntry, DiskCache, LRUCache
+
+
+@pytest.fixture(scope="module")
+def report(roomy_board):
+    from tests.conftest import build_tiny_cnn
+
+    return evaluate(build_tiny_cnn(), roomy_board, "segmented", ce_count=3)
+
+
+class TestLRUCache:
+    def test_miss_then_hit(self, report):
+        cache = LRUCache(max_entries=4)
+        assert cache.get("k1") is None
+        cache.put("k1", CacheEntry(report=report))
+        entry = cache.get("k1")
+        assert entry is not None and entry.report is report
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_eviction_is_least_recently_used(self, report):
+        cache = LRUCache(max_entries=2)
+        cache.put("a", CacheEntry(report=report))
+        cache.put("b", CacheEntry(report=report))
+        assert cache.get("a") is not None  # refresh "a"
+        cache.put("c", CacheEntry(report=report))  # evicts "b"
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert len(cache) == 2
+
+    def test_infeasible_entries_cached(self):
+        cache = LRUCache()
+        cache.put("bad", CacheEntry(report=None, reason="ResourceError: nope"))
+        entry = cache.get("bad")
+        assert entry is not None
+        assert not entry.feasible
+        assert "nope" in entry.reason
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(max_entries=0)
+
+
+class TestReportRoundTrip:
+    def test_dict_round_trip_is_exact(self, report):
+        clone = report_from_dict(report_to_dict(report))
+        assert clone == report  # frozen dataclasses: full deep equality
+
+    def test_json_round_trip_is_exact(self, report):
+        clone = report_from_json(report_to_json(report))
+        assert clone == report
+
+    def test_derived_metrics_survive(self, report):
+        clone = report_from_json(report_to_json(report))
+        assert clone.throughput_fps == report.throughput_fps
+        assert clone.pe_utilization == report.pe_utilization
+        assert [s.utilization for s in clone.segments] == [
+            s.utilization for s in report.segments
+        ]
+
+
+class TestDiskCache:
+    def test_round_trip(self, tmp_path, report):
+        cache = DiskCache(tmp_path / "cache")
+        key = "ab" * 32
+        assert cache.get(key) is None
+        cache.put(key, CacheEntry(report=report))
+        entry = cache.get(key)
+        assert entry is not None
+        assert entry.report == report
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_persists_across_instances(self, tmp_path, report):
+        key = "cd" * 32
+        DiskCache(tmp_path / "cache").put(key, CacheEntry(report=report))
+        entry = DiskCache(tmp_path / "cache").get(key)
+        assert entry is not None and entry.report == report
+
+    def test_infeasible_round_trip(self, tmp_path):
+        cache = DiskCache(tmp_path / "cache")
+        cache.put("ef" * 32, CacheEntry(report=None, reason="too big"))
+        entry = cache.get("ef" * 32)
+        assert entry is not None
+        assert entry.report is None
+        assert entry.reason == "too big"
+
+    def test_corrupt_file_is_a_miss(self, tmp_path, report):
+        cache = DiskCache(tmp_path / "cache")
+        key = "12" * 32
+        cache.put(key, CacheEntry(report=report))
+        path = cache._path(key)
+        path.write_text("{not json")
+        assert cache.get(key) is None
+
+    def test_unknown_format_is_a_miss(self, tmp_path, report):
+        cache = DiskCache(tmp_path / "cache")
+        key = "34" * 32
+        cache.put(key, CacheEntry(report=report))
+        path = cache._path(key)
+        payload = json.loads(path.read_text())
+        payload["format"] = 999
+        path.write_text(json.dumps(payload))
+        assert cache.get(key) is None
+
+    def test_len_counts_entries(self, tmp_path, report):
+        cache = DiskCache(tmp_path / "cache")
+        assert len(cache) == 0
+        cache.put("56" * 32, CacheEntry(report=report))
+        cache.put("78" * 32, CacheEntry(report=report))
+        assert len(cache) == 2

@@ -1,0 +1,84 @@
+"""Tests for cache-key fingerprinting."""
+
+import pytest
+
+from repro.core.architectures import build_template
+from repro.core.notation import parse_notation
+from repro.hw.datatypes import DEFAULT_PRECISION, INT8, Precision
+from repro.runtime.fingerprint import (
+    context_fingerprint,
+    fingerprint,
+    spec_fingerprint,
+)
+
+
+@pytest.fixture(scope="module")
+def context(roomy_board):
+    from tests.conftest import build_tiny_cnn
+
+    cnn = build_tiny_cnn()
+    return cnn, roomy_board
+
+
+class TestContextFingerprint:
+    def test_deterministic(self, context):
+        cnn, board = context
+        a = context_fingerprint(cnn, board, DEFAULT_PRECISION)
+        b = context_fingerprint(cnn, board, DEFAULT_PRECISION)
+        assert a == b
+
+    def test_rebuilt_graph_shares_context(self, context):
+        from tests.conftest import build_tiny_cnn
+
+        _, board = context
+        a = context_fingerprint(build_tiny_cnn(), board, DEFAULT_PRECISION)
+        b = context_fingerprint(build_tiny_cnn(), board, DEFAULT_PRECISION)
+        assert a == b
+
+    def test_board_changes_context(self, context, small_board):
+        cnn, board = context
+        a = context_fingerprint(cnn, board, DEFAULT_PRECISION)
+        b = context_fingerprint(cnn, small_board, DEFAULT_PRECISION)
+        assert a != b
+
+    def test_precision_changes_context(self, context):
+        cnn, board = context
+        a = context_fingerprint(cnn, board, DEFAULT_PRECISION)
+        b = context_fingerprint(
+            cnn, board, Precision(weights=INT8, activations=INT8)
+        )
+        assert a != b
+
+    def test_is_hex_digest(self, context):
+        cnn, board = context
+        digest = context_fingerprint(cnn, board, DEFAULT_PRECISION)
+        assert len(digest) == 64
+        int(digest, 16)
+
+
+class TestSpecFingerprint:
+    def test_equal_specs_share_key(self, context):
+        cnn, board = context
+        ctx = context_fingerprint(cnn, board, DEFAULT_PRECISION)
+        a = parse_notation("{L1-L4: CE1, L5-Last: CE2}")
+        b = parse_notation("{L1-L4: CE1, L5-Last: CE2}")
+        assert a is not b
+        assert spec_fingerprint(ctx, a) == spec_fingerprint(ctx, b)
+
+    def test_different_specs_differ(self, context):
+        cnn, board = context
+        ctx = context_fingerprint(cnn, board, DEFAULT_PRECISION)
+        a = parse_notation("{L1-L4: CE1, L5-Last: CE2}")
+        b = parse_notation("{L1-L3: CE1, L4-Last: CE2}")
+        assert spec_fingerprint(ctx, a) != spec_fingerprint(ctx, b)
+
+    def test_templates_by_ce_count_differ(self, context):
+        cnn, board = context
+        specs = cnn.conv_specs()
+        keys = {
+            fingerprint(
+                cnn, board, DEFAULT_PRECISION, build_template("segmented", specs, n)
+            )
+            for n in (2, 3, 4)
+        }
+        assert len(keys) == 3
