@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Evaluate designs over HTTP: the service and its client in one process.
+
+Starts an :class:`EvaluationService` on an ephemeral port (exactly what
+``repro serve`` runs behind a real port), then talks to it with
+:class:`ServiceClient`: single evaluations, a warm-cache replay, a sweep
+with skipped-configuration reporting, and a small design-space search.
+
+Against a long-running server, drop the ``EvaluationService`` lines and
+point ``ServiceClient`` at its URL, e.g. ``ServiceClient("http://host:8100")``.
+
+Run:  python examples/service_client.py
+"""
+
+from repro.service import EvaluationService, ServiceClient, ServiceError
+
+
+def main() -> None:
+    with EvaluationService(port=0) as service:
+        client = ServiceClient(service.url)
+
+        health = client.healthz()
+        print(f"service {health['version']} up at {service.url}")
+        print(f"models: {', '.join(entry['name'] for entry in client.models())}")
+
+        # One evaluation; the response rebuilds into a full CostReport,
+        # bit-identical to calling repro.api.evaluate in-process.
+        result = client.evaluate("squeezenet", "zc706", "segmentedrr", ce_count=2)
+        print()
+        print(result.report.summary())
+
+        # The same request again: answered from the service's shared cache.
+        replay = client.evaluate("squeezenet", "zc706", "segmentedrr", ce_count=2)
+        print(f"replay cached: {replay.cached}")
+
+        # A sweep over a CE-count range; infeasible configurations come
+        # back with their reasons instead of disappearing.
+        sweep = client.sweep("alexnet", "zc706", ce_counts={"min": 2, "max": 8})
+        print()
+        print(f"sweep: {len(sweep.reports)} feasible, {len(sweep.skipped)} skipped")
+        for skip in sweep.skipped:
+            print(f"  skipped {skip.architecture} x {skip.ce_count}: {skip.reason}")
+
+        # A seeded design-space search; the Pareto front arrives as
+        # (design coordinates, CostReport) pairs.
+        dse = client.dse("squeezenet", "zc706", samples=50, seed=1)
+        print()
+        print(f"dse: {dse.space_size:,}-design space, front of {len(dse.front)}:")
+        for design, report in dse.front:
+            print(
+                f"  {report.notation:<40} {report.throughput_fps:8.1f} FPS  "
+                f"{report.buffer_requirement_mib:6.2f} MiB"
+            )
+
+        # Typed errors: bad requests surface as ServiceError with the
+        # HTTP status and machine-readable kind.
+        try:
+            client.evaluate("squeezenet", "zc706", "warp-drive", ce_count=2)
+        except ServiceError as error:
+            print()
+            print(f"as expected: {error}")
+
+
+if __name__ == "__main__":
+    main()

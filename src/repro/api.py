@@ -42,17 +42,30 @@ ArchitectureLike = Union[str, ArchitectureSpec]
 
 
 def resolve_model(model: ModelLike) -> CNNGraph:
-    """Accept a zoo name or an already-built graph."""
+    """Accept a zoo name or an already-built graph.
+
+    Unknown names raise :class:`MCCMError` (the registry's ``KeyError`` is a
+    lookup detail; API callers get the library's error hierarchy).
+    """
     if isinstance(model, CNNGraph):
         return model
-    return load_model(model)
+    try:
+        return load_model(model)
+    except KeyError as error:
+        raise MCCMError(error.args[0]) from None
 
 
 def resolve_board(board: BoardLike) -> FPGABoard:
-    """Accept a Table II board name or an explicit board description."""
+    """Accept a Table II board name or an explicit board description.
+
+    Unknown names raise :class:`MCCMError`, like :func:`resolve_model`.
+    """
     if isinstance(board, FPGABoard):
         return board
-    return get_board(board)
+    try:
+        return get_board(board)
+    except KeyError as error:
+        raise MCCMError(error.args[0]) from None
 
 
 def build_accelerator(
@@ -127,6 +140,28 @@ class SweepResult(List[CostReport]):
         super().__init__(reports)
         self.skipped: List[SkippedConfig] = list(skipped)
         self.stats: RunStats = stats if stats is not None else RunStats()
+
+    def to_dict(self) -> dict:
+        """JSON-ready dump: full reports plus skipped configs and run stats.
+
+        Reports use the lossless :func:`~repro.core.cost.export.report_to_dict`
+        form, so each entry round-trips back to a :class:`CostReport` via
+        :func:`~repro.core.cost.export.report_from_dict`.
+        """
+        from repro.core.cost.export import report_to_dict
+
+        return {
+            "reports": [report_to_dict(report) for report in self],
+            "skipped": [
+                {
+                    "architecture": skip.architecture,
+                    "ce_count": skip.ce_count,
+                    "reason": skip.reason,
+                }
+                for skip in self.skipped
+            ],
+            "stats": self.stats.to_dict(),
+        }
 
 
 def sweep(

@@ -3,17 +3,24 @@
 Subcommands mirror the library's use cases:
 
 * ``evaluate`` — one accelerator, all four metrics (optionally JSON).
-* ``sweep`` — the paper's architecture x CE-count grid, as a table or CSV.
+* ``sweep`` — the paper's architecture x CE-count grid: table, CSV, or JSON.
 * ``validate`` — model vs reference-simulator accuracy (Eq. 10).
 * ``dse`` — sample the custom design space and print the Pareto front.
+* ``serve`` — the concurrent HTTP evaluation service (``docs/api.md``).
 * ``models`` / ``boards`` — list the registered CNNs and FPGAs.
+
+Bad inputs (unknown model/board names, malformed notation) exit with
+status 2 and a one-line ``error:`` message instead of a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
+
+from repro.utils.errors import MCCMError
 
 from repro.analysis.pareto import report_front
 from repro.analysis.reporting import comparison_table
@@ -83,6 +90,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         cache_dir=args.cache,
     )
+    if args.json:
+        # Full dump — reports (lossless report_to_dict form), skipped
+        # configurations with their reasons, and the runtime stats.
+        print(json.dumps(reports.to_dict(), indent=2))
+        return 0
     if args.csv:
         print(reports_to_csv(reports), end="")
     elif reports:
@@ -123,6 +135,19 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         result = random_search(
             evaluator, space, samples=args.samples, seed=args.seed, cost_metric=args.cost
         )
+    if args.json:
+        payload = result.to_dict()
+        payload.update(
+            {
+                "model": args.model,
+                "board": args.board,
+                "samples": args.samples,
+                "seed": args.seed,
+                "space_size": space.size(),
+            }
+        )
+        print(json.dumps(payload, indent=2))
+        return 0
     print(
         f"space {space.size():,} designs; evaluated {result.stats.evaluated} "
         f"at {result.stats.ms_per_design:.1f} ms/design "
@@ -135,6 +160,13 @@ def _cmd_dse(args: argparse.Namespace) -> int:
             f"{report.metric(args.cost) / 2**20:>8.2f} MiB  {report.notation}"
         )
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported here so plain CLI runs never pay for the service module.
+    from repro.service.server import serve
+
+    return serve(args.host, args.port, jobs=args.jobs, cache_dir=args.cache)
 
 
 def _cmd_models(_args: argparse.Namespace) -> int:
@@ -176,6 +208,11 @@ def build_parser() -> argparse.ArgumentParser:
     cmd.add_argument("--min-ces", type=int, default=2)
     cmd.add_argument("--max-ces", type=int, default=11)
     cmd.add_argument("--csv", action="store_true", help="emit CSV instead of a table")
+    cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full JSON dump (reports + skipped configs + stats)",
+    )
     _add_runtime(cmd)
     cmd.set_defaults(func=_cmd_sweep)
 
@@ -190,8 +227,21 @@ def build_parser() -> argparse.ArgumentParser:
     cmd.add_argument("--samples", type=int, default=500)
     cmd.add_argument("--seed", type=int, default=0)
     cmd.add_argument("--cost", default="buffers", choices=["buffers", "access"])
+    cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full JSON dump (Pareto front + stats)",
+    )
     _add_runtime(cmd)
     cmd.set_defaults(func=_cmd_dse)
+
+    cmd = commands.add_parser(
+        "serve", help="run the concurrent HTTP evaluation service"
+    )
+    cmd.add_argument("--host", default="127.0.0.1", help="bind address")
+    cmd.add_argument("--port", type=int, default=8100, help="bind port (0 = ephemeral)")
+    _add_runtime(cmd)
+    cmd.set_defaults(func=_cmd_serve)
 
     cmd = commands.add_parser("models", help="list zoo models")
     cmd.set_defaults(func=_cmd_models)
@@ -204,7 +254,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except MCCMError as error:
+        # Covers unknown model/board names too: resolve_model/resolve_board
+        # translate the registries' KeyError into MCCMError.
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -41,6 +41,17 @@ class SampleStats:
             return 0.0
         return 1000.0 * self.elapsed_seconds / self.evaluated
 
+    def to_dict(self) -> dict:
+        """JSON-ready counters (the CLI's ``--json`` and the HTTP service)."""
+        return {
+            "evaluated": self.evaluated,
+            "failed": self.failed,
+            "elapsed_seconds": self.elapsed_seconds,
+            "ms_per_design": self.ms_per_design,
+            "cache_hits": self.cache_hits,
+            "jobs": self.jobs,
+        }
+
 
 class DesignEvaluator:
     """Builds and costs custom designs through the cached runtime.

@@ -33,6 +33,35 @@ class SearchResult:
             raise ValueError("search produced no feasible designs")
         return max(self.evaluated, key=lambda pair: objective.score(pair[1]))
 
+    def to_dict(self, include_evaluated: bool = False) -> dict:
+        """JSON-ready dump: the Pareto front (and optionally every design).
+
+        Front entries pair the design's coordinates with the lossless
+        :func:`~repro.core.cost.export.report_to_dict` report form, so each
+        report round-trips back to a :class:`CostReport`.
+        """
+        from repro.core.cost.export import report_to_dict
+
+        def pair_to_dict(pair: Tuple[CustomDesign, CostReport]) -> dict:
+            design, report = pair
+            return {
+                "design": {
+                    "pipelined_layers": design.pipelined_layers,
+                    "cuts": list(design.cuts),
+                    "ce_count": design.ce_count,
+                },
+                "report": report_to_dict(report),
+            }
+
+        payload = {
+            "cost_metric": self.cost_metric,
+            "stats": self.stats.to_dict(),
+            "front": [pair_to_dict(pair) for pair in self.front],
+        }
+        if include_evaluated:
+            payload["evaluated"] = [pair_to_dict(pair) for pair in self.evaluated]
+        return payload
+
 
 def _front(
     pairs: Sequence[Tuple[CustomDesign, CostReport]], cost_metric: str

@@ -69,6 +69,20 @@ class RunStats:
             return 0.0
         return 1000.0 * self.elapsed_seconds / self.submitted
 
+    def to_dict(self) -> dict:
+        """JSON-ready counters (used by the CLI's ``--json`` and the service)."""
+        return {
+            "submitted": self.submitted,
+            "evaluations": self.evaluations,
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "cache_hits": self.cache_hits,
+            "hit_rate": self.hit_rate,
+            "infeasible": self.infeasible,
+            "elapsed_seconds": self.elapsed_seconds,
+            "jobs": self.jobs,
+        }
+
     def absorb(self, other: "RunStats") -> None:
         """Fold another run's counters into this one (for lifetime totals)."""
         self.submitted += other.submitted

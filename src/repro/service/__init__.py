@@ -1,0 +1,41 @@
+"""Network-facing evaluation service (JSON over HTTP, stdlib only).
+
+The batch runtime made bulk evaluation cheap inside one process; this
+package shares that warmth across processes and machines: a threading HTTP
+server whose endpoints all route through one process-wide set of cached
+:class:`~repro.runtime.BatchEvaluator` instances, so every client benefits
+from every other client's evaluations.
+
+* :class:`~repro.service.server.EvaluationService` / ``repro serve`` — the
+  server (embeddable or CLI-run).
+* :class:`~repro.service.client.ServiceClient` — a thin stdlib client whose
+  responses deserialize back into :class:`~repro.core.cost.results.CostReport`
+  objects, bit-identical to in-process ``api.evaluate`` results.
+* :mod:`~repro.service.schema` — request validation and the typed JSON
+  error payloads.
+
+See ``docs/api.md`` for the full endpoint reference.
+"""
+
+from repro.service.client import (
+    DseResult,
+    EvaluateResult,
+    ServiceClient,
+    ServiceError,
+    SweepResult,
+)
+from repro.service.handlers import ServiceState
+from repro.service.schema import RequestError
+from repro.service.server import EvaluationService, serve
+
+__all__ = [
+    "EvaluationService",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceState",
+    "RequestError",
+    "EvaluateResult",
+    "SweepResult",
+    "DseResult",
+    "serve",
+]

@@ -1,0 +1,215 @@
+"""A thin stdlib HTTP client for the evaluation service.
+
+Wire payloads deserialize back into the library's own types: ``evaluate``
+responses carry a :class:`~repro.core.cost.results.CostReport` rebuilt
+through the lossless JSON round-trip, so a report fetched over HTTP
+compares equal (``==``) to one computed in-process by ``api.evaluate``.
+
+>>> client = ServiceClient("http://127.0.0.1:8100")      # doctest: +SKIP
+>>> result = client.evaluate("resnet50", "zc706", "segmentedrr", ce_count=2)
+>>> result.report.throughput_fps                          # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.api import SkippedConfig
+from repro.core.cost.export import report_from_dict
+from repro.core.cost.results import CostReport
+from repro.hw.datatypes import Precision
+from repro.service.schema import precision_to_dict
+from repro.utils.errors import MCCMError
+
+PrecisionLike = Union[None, Precision, Dict[str, str]]
+
+
+class ServiceError(MCCMError):
+    """A non-2xx service response, carrying the typed error payload."""
+
+    def __init__(self, status: int, kind: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.kind = kind
+
+    def __str__(self) -> str:
+        return f"[{self.status} {self.kind}] {super().__str__()}"
+
+
+@dataclass(frozen=True)
+class EvaluateResult:
+    """One ``POST /evaluate`` answer; ``report is None`` means infeasible."""
+
+    feasible: bool
+    cached: bool
+    report: Optional[CostReport]
+    reason: Optional[str]
+    raw: Dict[str, Any] = field(repr=False, default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One ``POST /sweep`` answer, mirroring :class:`repro.api.SweepResult`."""
+
+    reports: List[CostReport]
+    skipped: List[SkippedConfig]
+    stats: Dict[str, Any]
+    raw: Dict[str, Any] = field(repr=False, default_factory=dict)
+
+
+@dataclass(frozen=True)
+class DseResult:
+    """One ``POST /dse`` answer: the Pareto front plus run accounting."""
+
+    front: List[Tuple[Dict[str, Any], CostReport]]
+    space_size: int
+    stats: Dict[str, Any]
+    raw: Dict[str, Any] = field(repr=False, default_factory=dict)
+
+
+def _precision_payload(precision: PrecisionLike) -> Optional[Dict[str, str]]:
+    if precision is None:
+        return None
+    if isinstance(precision, Precision):
+        return precision_to_dict(precision)
+    return dict(precision)
+
+
+class ServiceClient:
+    """Talk to an :class:`~repro.service.server.EvaluationService`."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # --- transport -----------------------------------------------------------
+    def _request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            method=method,
+            data=None if payload is None else json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            try:
+                detail = json.loads(error.read().decode("utf-8"))["error"]
+            except Exception:
+                detail = {"kind": "http_error", "message": str(error)}
+            raise ServiceError(
+                error.code, detail.get("kind", "http_error"),
+                detail.get("message", str(error)),
+            ) from None
+        except urllib.error.URLError as error:
+            raise ServiceError(
+                0, "connection_error", f"cannot reach {self.base_url}: {error.reason}"
+            ) from None
+        except OSError as error:
+            # Resets/timeouts mid-request arrive as bare socket errors, not
+            # URLError; keep the typed-ServiceError contract.
+            raise ServiceError(
+                0, "connection_error", f"connection to {self.base_url} failed: {error}"
+            ) from None
+
+    # --- GET endpoints -------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def models(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/models")["models"]
+
+    def boards(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/boards")["boards"]
+
+    # --- POST endpoints ------------------------------------------------------
+    def evaluate(
+        self,
+        model: str,
+        board: str,
+        architecture: str,
+        ce_count: Optional[int] = None,
+        precision: PrecisionLike = None,
+    ) -> EvaluateResult:
+        payload: Dict[str, Any] = {
+            "model": model,
+            "board": board,
+            "architecture": architecture,
+        }
+        if ce_count is not None:
+            payload["ce_count"] = ce_count
+        if precision is not None:
+            payload["precision"] = _precision_payload(precision)
+        data = self._request("POST", "/evaluate", payload)
+        report = data.get("report")
+        return EvaluateResult(
+            feasible=data["feasible"],
+            cached=data["cached"],
+            report=None if report is None else report_from_dict(report),
+            reason=data.get("reason"),
+            raw=data,
+        )
+
+    def sweep(
+        self,
+        model: str,
+        board: str,
+        architectures: Optional[Iterable[str]] = None,
+        ce_counts: Union[None, Iterable[int], Dict[str, int]] = None,
+        precision: PrecisionLike = None,
+    ) -> SweepResult:
+        payload: Dict[str, Any] = {"model": model, "board": board}
+        if architectures is not None:
+            payload["architectures"] = list(architectures)
+        if ce_counts is not None:
+            # A {"min": lo, "max": hi} range passes through as-is; any other
+            # iterable becomes the explicit count list.
+            payload["ce_counts"] = (
+                dict(ce_counts) if isinstance(ce_counts, dict) else list(ce_counts)
+            )
+        if precision is not None:
+            payload["precision"] = _precision_payload(precision)
+        data = self._request("POST", "/sweep", payload)
+        return SweepResult(
+            reports=[report_from_dict(item) for item in data["reports"]],
+            skipped=[
+                SkippedConfig(skip["architecture"], skip["ce_count"], skip["reason"])
+                for skip in data["skipped"]
+            ],
+            stats=data["stats"],
+            raw=data,
+        )
+
+    def dse(
+        self,
+        model: str,
+        board: str,
+        samples: int = 100,
+        seed: int = 0,
+        cost_metric: str = "buffers",
+        precision: PrecisionLike = None,
+    ) -> DseResult:
+        payload: Dict[str, Any] = {
+            "model": model,
+            "board": board,
+            "samples": samples,
+            "seed": seed,
+            "cost_metric": cost_metric,
+        }
+        if precision is not None:
+            payload["precision"] = _precision_payload(precision)
+        data = self._request("POST", "/dse", payload)
+        return DseResult(
+            front=[
+                (item["design"], report_from_dict(item["report"]))
+                for item in data["front"]
+            ],
+            space_size=data["space_size"],
+            stats=data["stats"],
+            raw=data,
+        )

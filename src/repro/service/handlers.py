@@ -1,0 +1,295 @@
+"""Endpoint logic and the process-wide shared evaluator state.
+
+The service's whole point is that many clients share one warm evaluation
+cache: :class:`ServiceState` keeps a single :class:`BatchEvaluator` per
+(CNN, board, precision) context — created lazily on first use, keyed by the
+runtime's context fingerprint — and every endpoint routes its model work
+through it. Repeated and concurrent requests for the same design therefore
+cost one evaluation total, and a request replayed against a warm service
+answers from memory in microseconds.
+
+Handlers are plain functions ``(state, validated_request) -> (status, dict)``
+so they are directly testable without a socket; :mod:`repro.service.server`
+adds the HTTP plumbing.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Optional, Tuple, Union
+
+import repro
+from repro.api import resolve_board, resolve_model, sweep
+from repro.cnn.stats import collect_stats
+from repro.core.architectures import TEMPLATES, build_template
+from repro.core.cost.export import report_to_dict
+from repro.core.notation import ArchitectureSpec, parse_notation
+from repro.dse import CustomDesignSpace, DesignEvaluator, random_search
+from repro.hw.boards import BOARDS, available_boards
+from repro.hw.datatypes import Precision
+from repro.runtime import BatchEvaluator, RunStats
+from repro.service.schema import (
+    DseRequest,
+    EvaluateRequest,
+    RequestError,
+    SweepRequest,
+    precision_to_dict,
+)
+from repro.utils.errors import ResourceError
+
+Response = Tuple[int, Dict[str, Any]]
+
+
+class ServiceState:
+    """Shared, thread-safe state behind all endpoints of one service.
+
+    Parameters mirror the CLI's runtime flags: ``jobs`` is the worker-process
+    count of each :class:`BatchEvaluator` (1 = evaluate inline on the request
+    thread; request concurrency still comes from the threading server), and
+    ``cache_dir`` an optional on-disk cache shared by every context and
+    persisted across service restarts.
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        cache_entries: int = 65536,
+    ) -> None:
+        self.jobs = jobs
+        self.cache_dir = cache_dir
+        self.cache_entries = cache_entries
+        self.started = time.time()
+        self._registry_lock = threading.Lock()
+        #: canonical (model, board, weights, activations) context key ->
+        #: (evaluator, per-evaluator evaluation lock)
+        self._evaluators: Dict[
+            Tuple[str, str, str, str], Tuple[BatchEvaluator, threading.Lock]
+        ] = {}
+        self._counter_lock = threading.Lock()
+        self.request_counts: Dict[str, int] = {}
+        self.error_count = 0
+        self._model_catalog: Optional[list] = None
+
+    # --- evaluator registry --------------------------------------------------
+    def evaluator_for(
+        self, model: str, board: str, precision: Precision
+    ) -> Tuple[BatchEvaluator, threading.Lock]:
+        """The shared evaluator (and its lock) for one evaluation context.
+
+        ``BatchEvaluator`` is not itself thread-safe (LRU bookkeeping,
+        ``last_run``), so callers must hold the returned lock around any
+        evaluation; contexts are independent, so requests for different
+        (model, board, precision) triples still run concurrently.
+        """
+        key = (model, board, precision.weights.name, precision.activations.name)
+        with self._registry_lock:
+            entry = self._evaluators.get(key)
+            if entry is None:
+                # Graph construction is lru-cached by the zoo, so building
+                # the evaluator here is the only per-context cost.
+                evaluator = BatchEvaluator(
+                    resolve_model(model),
+                    resolve_board(board),
+                    precision,
+                    jobs=self.jobs,
+                    cache_entries=self.cache_entries,
+                    cache_dir=self.cache_dir,
+                )
+                entry = (evaluator, threading.Lock())
+                self._evaluators[key] = entry
+        return entry
+
+    def runtime_totals(self) -> RunStats:
+        """Lifetime counters aggregated across every context's evaluator."""
+        totals = RunStats(jobs=self.jobs)
+        with self._registry_lock:
+            evaluators = [evaluator for evaluator, _lock in self._evaluators.values()]
+        for evaluator in evaluators:
+            totals.absorb(evaluator.totals)
+        return totals
+
+    @property
+    def evaluator_count(self) -> int:
+        with self._registry_lock:
+            return len(self._evaluators)
+
+    def close(self) -> None:
+        """Tear down every evaluator's worker pool (idempotent)."""
+        with self._registry_lock:
+            evaluators = list(self._evaluators.values())
+            self._evaluators.clear()
+        for evaluator, _lock in evaluators:
+            evaluator.close()
+
+    # --- request accounting --------------------------------------------------
+    def count_request(self, endpoint: str, ok: bool) -> None:
+        with self._counter_lock:
+            self.request_counts[endpoint] = self.request_counts.get(endpoint, 0) + 1
+            if not ok:
+                self.error_count += 1
+
+
+def _resolve_spec(
+    evaluator: BatchEvaluator, architecture: str, ce_count: Optional[int]
+) -> ArchitectureSpec:
+    """Template name or notation string -> spec, with service-side errors."""
+    text = architecture.strip()
+    if text.startswith("{"):
+        return parse_notation(text)
+    name = text.lower()
+    if name not in TEMPLATES:
+        raise RequestError(
+            f"unknown architecture template {architecture!r}; "
+            f"available: {sorted(TEMPLATES)} (or a notation string)",
+            status=404,
+            kind="unknown_architecture",
+        )
+    if ce_count is None:
+        raise RequestError(f"template {architecture!r} needs an explicit ce_count")
+    return build_template(name, evaluator.builder.conv_specs, ce_count)
+
+
+# --- GET endpoints ------------------------------------------------------------
+
+
+def handle_healthz(state: ServiceState) -> Response:
+    totals = state.runtime_totals()
+    with state._counter_lock:
+        requests = dict(state.request_counts)
+        errors = state.error_count
+    return 200, {
+        "status": "ok",
+        "version": repro.__version__,
+        "uptime_seconds": round(time.time() - state.started, 3),
+        "evaluators": state.evaluator_count,
+        "jobs": state.jobs,
+        "cache_dir": state.cache_dir,
+        "requests": requests,
+        "errors": errors,
+        "runtime": totals.to_dict(),
+    }
+
+
+def handle_models(state: ServiceState) -> Response:
+    if state._model_catalog is None:
+        catalog = []
+        for name in sorted(repro.available_models()):
+            stats = collect_stats(resolve_model(name))
+            catalog.append(
+                {
+                    "name": name,
+                    "display_name": stats.name,
+                    "conv_layers": stats.conv_layer_count,
+                    "gmacs": round(stats.gmacs, 3),
+                    "weights_millions": round(stats.weights_millions, 3),
+                }
+            )
+        state._model_catalog = catalog
+    return 200, {"models": state._model_catalog}
+
+
+def handle_boards(state: ServiceState) -> Response:
+    boards = []
+    for name in available_boards():
+        board = BOARDS[name]
+        boards.append(
+            {
+                "name": name,
+                "dsp_count": board.dsp_count,
+                "bram_bytes": board.bram_bytes,
+                "bandwidth_gbps": board.bandwidth_gbps,
+                "clock_hz": board.clock_hz,
+            }
+        )
+    return 200, {"boards": boards}
+
+
+# --- POST endpoints -----------------------------------------------------------
+
+
+def handle_evaluate(state: ServiceState, request: EvaluateRequest) -> Response:
+    evaluator, lock = state.evaluator_for(request.model, request.board, request.precision)
+    base = {
+        "model": request.model,
+        "board": request.board,
+        "architecture": request.architecture,
+        "ce_count": request.ce_count,
+        "precision": precision_to_dict(request.precision),
+    }
+    try:
+        spec = _resolve_spec(evaluator, request.architecture, request.ce_count)
+    except ResourceError as error:
+        # Infeasible before evaluation even starts (e.g. more CEs than
+        # layers): an answer, not an error — same contract as api.sweep.
+        base.update(
+            {"feasible": False, "cached": False, "report": None,
+             "reason": f"{type(error).__name__}: {error}"}
+        )
+        return 200, base
+    with lock:
+        item = next(iter(evaluator.stream([spec])))
+    base.update(
+        {
+            "feasible": item.feasible,
+            "cached": item.cached,
+            "fingerprint": evaluator.key_for(spec),
+            "report": report_to_dict(item.report) if item.report is not None else None,
+            "reason": item.reason,
+        }
+    )
+    return 200, base
+
+
+def handle_sweep(state: ServiceState, request: SweepRequest) -> Response:
+    evaluator, lock = state.evaluator_for(request.model, request.board, request.precision)
+    with lock:
+        result = sweep(
+            evaluator.graph,
+            evaluator.board,
+            architectures=request.architectures,
+            ce_counts=request.ce_counts,
+            precision=request.precision,
+            runtime=evaluator,
+        )
+    payload = result.to_dict()
+    payload.update(
+        {
+            "model": request.model,
+            "board": request.board,
+            "precision": precision_to_dict(request.precision),
+        }
+    )
+    return 200, payload
+
+
+def handle_dse(state: ServiceState, request: DseRequest) -> Response:
+    evaluator, lock = state.evaluator_for(request.model, request.board, request.precision)
+    space = CustomDesignSpace(evaluator.graph.conv_specs())
+    # The DesignEvaluator is a veneer over the *shared* runtime; it is not
+    # closed here because closing it would tear down the service's evaluator.
+    design_evaluator = DesignEvaluator(
+        evaluator.graph, evaluator.board, request.precision, runtime=evaluator
+    )
+    with lock:
+        result = random_search(
+            design_evaluator,
+            space,
+            samples=request.samples,
+            seed=request.seed,
+            cost_metric=request.cost_metric,
+        )
+    payload = result.to_dict()
+    payload.update(
+        {
+            "model": request.model,
+            "board": request.board,
+            "precision": precision_to_dict(request.precision),
+            "samples": request.samples,
+            "seed": request.seed,
+            "space_size": space.size(),
+        }
+    )
+    return 200, payload

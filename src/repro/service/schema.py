@@ -1,0 +1,298 @@
+"""Request validation and error payloads for the evaluation service.
+
+Every request body is validated into a frozen request dataclass before any
+model work happens; malformed input produces a structured 4xx error rather
+than a traceback. Library errors crossing the HTTP boundary are rendered
+as typed JSON payloads::
+
+    {"error": {"kind": "notation_error", "type": "NotationError",
+               "message": "..."}}
+
+with one deliberate exception: :class:`~repro.utils.errors.ResourceError`
+during an evaluation means "this design does not fit the board" — a valid
+*answer*, not a failure — so ``/evaluate`` reports it as an infeasible
+result (HTTP 200, ``feasible: false``) exactly like the batch runtime and
+``api.sweep`` treat it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.cnn.zoo import available_models
+from repro.hw.boards import available_boards
+from repro.hw.datatypes import DATATYPES, DEFAULT_PRECISION, Precision, get_datatype
+from repro.utils.errors import (
+    MCCMError,
+    NotationError,
+    ResourceError,
+    ShapeError,
+    ValidationError,
+)
+
+#: Cost metrics accepted by ``POST /dse`` (mirrors the CLI's ``--cost``).
+DSE_COST_METRICS = ("buffers", "access")
+
+#: Per-request sample cap for ``POST /dse`` (bounds evaluator-lock hold time).
+MAX_DSE_SAMPLES = 10_000
+
+
+class RequestError(MCCMError):
+    """A request failed validation; carries the HTTP status and error kind."""
+
+    def __init__(self, message: str, *, status: int = 400, kind: str = "bad_request"):
+        super().__init__(message)
+        self.status = status
+        self.kind = kind
+
+
+#: MCCMError subclass -> (HTTP status, machine-readable kind). Order matters:
+#: the first match wins, so subclasses precede MCCMError itself.
+_ERROR_MAP: Tuple[Tuple[type, Tuple[int, str]], ...] = (
+    (RequestError, (400, "bad_request")),  # status/kind read off the instance
+    (NotationError, (400, "notation_error")),
+    (ShapeError, (400, "shape_error")),
+    (ValidationError, (400, "validation_error")),
+    (ResourceError, (422, "resource_error")),
+    (MCCMError, (400, "mccm_error")),
+)
+
+
+def classify_error(error: BaseException) -> Tuple[int, str]:
+    """Map an exception to its (HTTP status, error kind)."""
+    if isinstance(error, RequestError):
+        return error.status, error.kind
+    for exc_type, (status, kind) in _ERROR_MAP:
+        if isinstance(error, exc_type):
+            return status, kind
+    return 500, "internal_error"
+
+
+def error_payload(error: BaseException) -> Dict[str, Any]:
+    """The JSON body sent alongside a non-2xx status."""
+    _status, kind = classify_error(error)
+    return {
+        "error": {
+            "kind": kind,
+            "type": type(error).__name__,
+            "message": str(error),
+        }
+    }
+
+
+# --- field-level validation helpers ------------------------------------------
+
+
+def _require_mapping(payload: Any) -> Mapping[str, Any]:
+    if not isinstance(payload, Mapping):
+        raise RequestError(
+            f"request body must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _reject_unknown(payload: Mapping[str, Any], allowed: Iterable[str]) -> None:
+    unknown = sorted(set(payload) - set(allowed))
+    if unknown:
+        raise RequestError(
+            f"unknown field(s) {unknown}; accepted: {sorted(allowed)}"
+        )
+
+
+def _string_field(payload: Mapping[str, Any], name: str) -> str:
+    if name not in payload:
+        raise RequestError(f"missing required field {name!r}")
+    value = payload[name]
+    if not isinstance(value, str) or not value.strip():
+        raise RequestError(f"field {name!r} must be a non-empty string")
+    return value.strip()
+
+
+def _int_field(
+    payload: Mapping[str, Any],
+    name: str,
+    default: Optional[int] = None,
+    minimum: Optional[int] = None,
+) -> Optional[int]:
+    if name not in payload or payload[name] is None:
+        return default
+    value = payload[name]
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise RequestError(f"field {name!r} must be an integer")
+    if minimum is not None and value < minimum:
+        raise RequestError(f"field {name!r} must be >= {minimum}, got {value}")
+    return value
+
+
+def _model_field(payload: Mapping[str, Any]) -> str:
+    name = _string_field(payload, "model").lower()
+    if name not in available_models():
+        raise RequestError(
+            f"unknown model {name!r}; available: {available_models()}",
+            status=404,
+            kind="unknown_model",
+        )
+    return name
+
+
+def _board_field(payload: Mapping[str, Any]) -> str:
+    name = _string_field(payload, "board").lower()
+    if name not in available_boards():
+        raise RequestError(
+            f"unknown board {name!r}; available: {available_boards()}",
+            status=404,
+            kind="unknown_board",
+        )
+    return name
+
+
+def parse_precision(value: Any) -> Precision:
+    """``{"weights": "int16", "activations": "int8"}`` -> :class:`Precision`."""
+    if value is None:
+        return DEFAULT_PRECISION
+    if not isinstance(value, Mapping):
+        raise RequestError("field 'precision' must be an object")
+    _reject_unknown(value, ("weights", "activations"))
+    names = {}
+    for key in ("weights", "activations"):
+        raw = value.get(key, getattr(DEFAULT_PRECISION, key).name)
+        if not isinstance(raw, str):
+            raise RequestError(f"precision.{key} must be a datatype name string")
+        try:
+            names[key] = get_datatype(raw)
+        except KeyError:
+            raise RequestError(
+                f"unknown datatype {raw!r} for precision.{key}; "
+                f"available: {sorted(DATATYPES)}"
+            ) from None
+    return Precision(weights=names["weights"], activations=names["activations"])
+
+
+def precision_to_dict(precision: Precision) -> Dict[str, str]:
+    """The wire form of a :class:`Precision` (inverse of :func:`parse_precision`)."""
+    return {
+        "weights": precision.weights.name,
+        "activations": precision.activations.name,
+    }
+
+
+# --- request dataclasses ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EvaluateRequest:
+    """Validated body of ``POST /evaluate``."""
+
+    model: str
+    board: str
+    architecture: str
+    ce_count: Optional[int] = None
+    precision: Precision = DEFAULT_PRECISION
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """Validated body of ``POST /sweep`` (``None`` = the paper's defaults)."""
+
+    model: str
+    board: str
+    architectures: Optional[Tuple[str, ...]] = None
+    ce_counts: Optional[Tuple[int, ...]] = None
+    precision: Precision = DEFAULT_PRECISION
+
+
+@dataclass(frozen=True)
+class DseRequest:
+    """Validated body of ``POST /dse``."""
+
+    model: str
+    board: str
+    samples: int = 100
+    seed: int = 0
+    cost_metric: str = "buffers"
+    precision: Precision = field(default=DEFAULT_PRECISION)
+
+
+def parse_evaluate(payload: Any) -> EvaluateRequest:
+    body = _require_mapping(payload)
+    _reject_unknown(body, ("model", "board", "architecture", "ce_count", "precision"))
+    return EvaluateRequest(
+        model=_model_field(body),
+        board=_board_field(body),
+        architecture=_string_field(body, "architecture"),
+        ce_count=_int_field(body, "ce_count", minimum=1),
+        precision=parse_precision(body.get("precision")),
+    )
+
+
+def _ce_counts_field(body: Mapping[str, Any]) -> Optional[Tuple[int, ...]]:
+    value = body.get("ce_counts")
+    if value is None:
+        return None
+    if isinstance(value, Mapping):
+        _reject_unknown(value, ("min", "max"))
+        low = _int_field(value, "min", minimum=1)
+        high = _int_field(value, "max", minimum=1)
+        if low is None or high is None:
+            raise RequestError("ce_counts range needs both 'min' and 'max'")
+        if high < low:
+            raise RequestError(f"ce_counts range is empty: min {low} > max {high}")
+        return tuple(range(low, high + 1))
+    if isinstance(value, (list, tuple)):
+        counts = []
+        for item in value:
+            if isinstance(item, bool) or not isinstance(item, int) or item < 1:
+                raise RequestError("ce_counts entries must be integers >= 1")
+            counts.append(item)
+        if not counts:
+            raise RequestError("ce_counts must not be empty")
+        return tuple(counts)
+    raise RequestError("ce_counts must be a list of integers or a {min, max} object")
+
+
+def parse_sweep(payload: Any) -> SweepRequest:
+    body = _require_mapping(payload)
+    _reject_unknown(body, ("model", "board", "architectures", "ce_counts", "precision"))
+    architectures = body.get("architectures")
+    if architectures is not None:
+        if not isinstance(architectures, (list, tuple)) or not architectures:
+            raise RequestError("architectures must be a non-empty list of names")
+        if not all(isinstance(name, str) and name.strip() for name in architectures):
+            raise RequestError("architectures entries must be non-empty strings")
+        architectures = tuple(name.strip() for name in architectures)
+    return SweepRequest(
+        model=_model_field(body),
+        board=_board_field(body),
+        architectures=architectures,
+        ce_counts=_ce_counts_field(body),
+        precision=parse_precision(body.get("precision")),
+    )
+
+
+def parse_dse(payload: Any) -> DseRequest:
+    body = _require_mapping(payload)
+    _reject_unknown(body, ("model", "board", "samples", "seed", "cost_metric", "precision"))
+    cost_metric = body.get("cost_metric", "buffers")
+    if cost_metric not in DSE_COST_METRICS:
+        raise RequestError(
+            f"cost_metric must be one of {list(DSE_COST_METRICS)}, got {cost_metric!r}"
+        )
+    samples = _int_field(body, "samples", default=100, minimum=1)
+    # One /dse request holds its context's evaluator lock for the whole
+    # search (~1-6 ms/design), so the per-request cap keeps any single
+    # request from starving concurrent /evaluate and /sweep traffic for
+    # minutes; larger explorations belong on the CLI/library surface.
+    if samples > MAX_DSE_SAMPLES:
+        raise RequestError(
+            f"samples capped at {MAX_DSE_SAMPLES} per request, got {samples} "
+            f"(use the CLI or library for larger searches)"
+        )
+    return DseRequest(
+        model=_model_field(body),
+        board=_board_field(body),
+        samples=samples,
+        seed=_int_field(body, "seed", default=0, minimum=0),
+        cost_metric=cost_metric,
+        precision=parse_precision(body.get("precision")),
+    )

@@ -1,0 +1,242 @@
+"""The HTTP front door: a threading JSON server over the shared runtime.
+
+Stdlib only (``http.server``): one daemon thread per connection, all of
+them funneling model work through the process-wide
+:class:`~repro.service.handlers.ServiceState` so every client shares the
+same warm evaluation cache.
+
+Two entry points:
+
+* :class:`EvaluationService` — embeddable object with ``start()`` /
+  ``stop()`` (graceful: stops accepting, drains, closes worker pools) and
+  context-manager support; ``port=0`` binds an ephemeral port, which tests
+  and the in-process benchmark use.
+* :func:`serve` — the blocking CLI entry point (``repro serve``).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import repro
+from repro.service import handlers, schema
+from repro.service.handlers import ServiceState
+from repro.utils.errors import MCCMError
+
+logger = logging.getLogger(__name__)
+
+#: Largest accepted request body; anything bigger gets a structured 413.
+MAX_BODY_BYTES = 1 << 20
+
+
+class _ThreadingServer(ThreadingHTTPServer):
+    daemon_threads = True
+    # The stdlib default listen backlog (5) drops connections when many
+    # clients connect at once; the service's whole point is concurrent
+    # clients, so queue bursts instead.
+    request_queue_size = 128
+
+#: method -> path -> (request parser or None, handler).
+ROUTES: Dict[str, Dict[str, Tuple[Optional[Callable], Callable]]] = {
+    "GET": {
+        "/healthz": (None, handlers.handle_healthz),
+        "/models": (None, handlers.handle_models),
+        "/boards": (None, handlers.handle_boards),
+    },
+    "POST": {
+        "/evaluate": (schema.parse_evaluate, handlers.handle_evaluate),
+        "/sweep": (schema.parse_sweep, handlers.handle_sweep),
+        "/dse": (schema.parse_dse, handlers.handle_dse),
+    },
+}
+
+
+class _RequestHandler(BaseHTTPRequestHandler):
+    server_version = f"repro-serve/{repro.__version__}"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def state(self) -> ServiceState:
+        return self.server.service_state  # type: ignore[attr-defined]
+
+    # --- plumbing ------------------------------------------------------------
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        if status >= 400:
+            # An errored request may not have consumed its body; keeping the
+            # connection alive would desync HTTP/1.1 pipelining.
+            self.close_connection = True
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> Any:
+        length_header = self.headers.get("Content-Length")
+        try:
+            length = int(length_header or "")
+        except ValueError:
+            raise schema.RequestError(
+                "POST requires a Content-Length header", status=411, kind="length_required"
+            ) from None
+        if length < 0:
+            # rfile.read(negative) would read until EOF and hang the thread.
+            raise schema.RequestError(f"invalid Content-Length {length}")
+        if length > MAX_BODY_BYTES:
+            raise schema.RequestError(
+                f"request body of {length} bytes exceeds the {MAX_BODY_BYTES} limit",
+                status=413,
+                kind="body_too_large",
+            )
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise schema.RequestError(
+                f"request body is not valid JSON: {error}", kind="invalid_json"
+            ) from None
+
+    def _dispatch(self, method: str) -> None:
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        route = ROUTES.get(method, {}).get(path)
+        if route is None:
+            known = sorted(ROUTES["GET"]) + sorted(ROUTES["POST"])
+            if any(path in table for table in ROUTES.values()):
+                status, payload = 405, schema.error_payload(
+                    schema.RequestError(
+                        f"{method} not allowed on {path}", status=405,
+                        kind="method_not_allowed",
+                    )
+                )
+            else:
+                status, payload = 404, schema.error_payload(
+                    schema.RequestError(
+                        f"no such endpoint {path!r}; available: {known}",
+                        status=404,
+                        kind="unknown_endpoint",
+                    )
+                )
+            self.state.count_request(path, ok=False)
+            self._send_json(status, payload)
+            return
+
+        parser, handler = route
+        try:
+            if parser is None:
+                status, payload = handler(self.state)
+            else:
+                request = parser(self._read_body())
+                status, payload = handler(self.state, request)
+        except MCCMError as error:
+            status, _kind = schema.classify_error(error)
+            payload = schema.error_payload(error)
+        except Exception as error:  # pragma: no cover - defensive
+            logger.exception("unhandled error serving %s %s", method, path)
+            status, payload = 500, schema.error_payload(error)
+        self.state.count_request(path, ok=status < 400)
+        self._send_json(status, payload)
+
+    # --- http.server hooks ---------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server naming)
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST")
+
+    def log_message(self, format: str, *args: Any) -> None:
+        # Route the default access log through logging instead of stderr.
+        logger.info("%s - %s", self.address_string(), format % args)
+
+
+class EvaluationService:
+    """An embeddable MCCM evaluation server.
+
+    >>> with EvaluationService(port=0) as service:   # doctest: +SKIP
+    ...     client = ServiceClient(service.url)
+    ...     client.evaluate("squeezenet", "zc706", "segmentedrr", ce_count=2)
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8100,
+        *,
+        jobs: int = 1,
+        cache_dir: Optional[str] = None,
+        cache_entries: int = 65536,
+    ) -> None:
+        self.state = ServiceState(
+            jobs=jobs, cache_dir=cache_dir, cache_entries=cache_entries
+        )
+        self._httpd = _ThreadingServer((host, port), _RequestHandler)
+        self._httpd.service_state = self.state  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        """The bound port (the real one when constructed with ``port=0``)."""
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "EvaluationService":
+        """Serve on a background thread; returns immediately."""
+        if self._thread is not None:
+            raise MCCMError("service is already running")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        logger.info("serving MCCM evaluations on %s", self.url)
+        return self
+
+    def stop(self) -> None:
+        """Graceful shutdown: stop accepting, join, release worker pools."""
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join()
+            self._thread = None
+        self._httpd.server_close()
+        self.state.close()
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted (the CLI path)."""
+        try:
+            self._httpd.serve_forever()
+        finally:
+            self._httpd.server_close()
+            self.state.close()
+
+    def __enter__(self) -> "EvaluationService":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 8100,
+    *,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+) -> int:
+    """Run the service in the foreground until Ctrl-C (``repro serve``)."""
+    service = EvaluationService(host, port, jobs=jobs, cache_dir=cache_dir)
+    print(f"serving MCCM evaluations on {service.url} (Ctrl-C to stop)")
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0

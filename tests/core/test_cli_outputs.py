@@ -1,0 +1,182 @@
+"""CLI output-path coverage: JSON round-trips and exit codes.
+
+Every ``--json`` emitter must produce documents whose reports rebuild into
+bit-identical :class:`CostReport` objects via the lossless import path, and
+bad inputs must exit with status 2 and an ``error:`` line — not a traceback.
+"""
+
+import json
+
+from repro.api import evaluate as api_evaluate
+from repro.api import sweep as api_sweep
+from repro.cli import build_parser, main
+from repro.core.cost.export import report_from_dict
+
+MODEL = "squeezenet"
+BOARD = "zc706"
+
+
+class TestEvaluateJsonRoundTrip:
+    def test_report_round_trips(self, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--model", MODEL,
+                "--board", BOARD,
+                "--arch", "segmentedrr",
+                "--ces", "2",
+                "--json",
+            ]
+        )
+        assert code == 0
+        rebuilt = report_from_dict(json.loads(capsys.readouterr().out))
+        assert rebuilt == api_evaluate(MODEL, BOARD, "segmentedrr", ce_count=2)
+
+
+class TestSweepJson:
+    def test_reports_round_trip(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--model", MODEL,
+                "--board", BOARD,
+                "--min-ces", "2",
+                "--max-ces", "3",
+                "--json",
+            ]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        direct = api_sweep(MODEL, BOARD, ce_counts=range(2, 4))
+        assert [report_from_dict(item) for item in data["reports"]] == list(direct)
+        assert data["stats"]["submitted"] == len(direct)
+
+    def test_skipped_configs_included_with_reasons(self, capsys):
+        # AlexNet has 5 conv layers, so CE counts 6..8 are infeasible and
+        # must appear in the JSON dump instead of being silently dropped.
+        code = main(
+            [
+                "sweep",
+                "--model", "alexnet",
+                "--board", BOARD,
+                "--arch", "segmentedrr",
+                "--min-ces", "2",
+                "--max-ces", "8",
+                "--json",
+            ]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert [skip["ce_count"] for skip in data["skipped"]] == [6, 7, 8]
+        assert all(skip["reason"] for skip in data["skipped"])
+        assert all(skip["architecture"] == "segmentedrr" for skip in data["skipped"])
+
+    def test_skipped_configs_printed_in_table_mode(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--model", "alexnet",
+                "--board", BOARD,
+                "--arch", "segmentedrr",
+                "--min-ces", "2",
+                "--max-ces", "6",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "skipped 1 infeasible configuration" in err
+        assert "segmentedrr x 6 CEs" in err
+
+
+class TestDseJson:
+    def test_front_round_trips(self, capsys):
+        code = main(
+            [
+                "dse",
+                "--model", MODEL,
+                "--board", BOARD,
+                "--samples", "15",
+                "--seed", "3",
+                "--json",
+            ]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["space_size"] > 0
+        assert data["stats"]["evaluated"] <= 15
+        assert data["front"], "expected a non-empty Pareto front"
+        for entry in data["front"]:
+            report = report_from_dict(entry["report"])
+            assert report.throughput_fps > 0
+            assert entry["design"]["ce_count"] >= 2
+
+    def test_deterministic_across_runs(self, capsys):
+        argv = [
+            "dse",
+            "--model", MODEL,
+            "--board", BOARD,
+            "--samples", "10",
+            "--seed", "5",
+            "--json",
+        ]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first["front"] == second["front"]
+
+
+class TestExitCodes:
+    def test_unknown_model(self, capsys):
+        code = main(
+            ["evaluate", "--model", "nope", "--board", BOARD,
+             "--arch", "segmentedrr", "--ces", "2"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "unknown model" in err
+
+    def test_unknown_board(self, capsys):
+        code = main(
+            ["sweep", "--model", MODEL, "--board", "nope",
+             "--min-ces", "2", "--max-ces", "3"]
+        )
+        assert code == 2
+        assert "unknown board" in capsys.readouterr().err
+
+    def test_template_without_ce_count(self, capsys):
+        code = main(
+            ["evaluate", "--model", MODEL, "--board", BOARD, "--arch", "segmented"]
+        )
+        assert code == 2
+        assert "ce_count" in capsys.readouterr().err
+
+    def test_malformed_notation(self, capsys):
+        code = main(
+            ["evaluate", "--model", MODEL, "--board", BOARD, "--arch", "{L1-"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_dse_unknown_model(self, capsys):
+        code = main(["dse", "--model", "nope", "--board", BOARD, "--samples", "5"])
+        assert code == 2
+        assert "unknown model" in capsys.readouterr().err
+
+
+class TestServeParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8100
+        assert args.jobs == 1
+        assert args.cache is None
+
+    def test_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--host", "0.0.0.0", "--port", "9000",
+             "--jobs", "4", "--cache", "/tmp/c"]
+        )
+        assert (args.host, args.port, args.jobs, args.cache) == (
+            "0.0.0.0", 9000, 4, "/tmp/c"
+        )

@@ -1,0 +1,198 @@
+"""Request validation and error-mapping tests (no sockets involved)."""
+
+import pytest
+
+from repro.hw.datatypes import DEFAULT_PRECISION
+from repro.service.schema import (
+    RequestError,
+    classify_error,
+    error_payload,
+    parse_dse,
+    parse_evaluate,
+    parse_precision,
+    parse_sweep,
+    precision_to_dict,
+)
+from repro.utils.errors import (
+    MCCMError,
+    NotationError,
+    ResourceError,
+    ShapeError,
+    ValidationError,
+)
+
+
+class TestParseEvaluate:
+    def test_happy_path(self):
+        request = parse_evaluate(
+            {
+                "model": "SqueezeNet",
+                "board": "ZC706",
+                "architecture": "segmentedrr",
+                "ce_count": 2,
+            }
+        )
+        assert request.model == "squeezenet"
+        assert request.board == "zc706"
+        assert request.ce_count == 2
+        assert request.precision == DEFAULT_PRECISION
+
+    def test_notation_needs_no_ce_count(self):
+        request = parse_evaluate(
+            {"model": "squeezenet", "board": "zc706", "architecture": "{L1-Last: CE1}"}
+        )
+        assert request.ce_count is None
+
+    @pytest.mark.parametrize(
+        "payload, fragment",
+        [
+            ([1, 2], "JSON object"),
+            ({"board": "zc706", "architecture": "segmented"}, "missing required"),
+            ({"model": "", "board": "zc706", "architecture": "x"}, "non-empty string"),
+            (
+                {"model": "squeezenet", "board": "zc706", "architecture": "s",
+                 "ce_count": "two"},
+                "must be an integer",
+            ),
+            (
+                {"model": "squeezenet", "board": "zc706", "architecture": "s",
+                 "ce_count": 0},
+                ">= 1",
+            ),
+            (
+                {"model": "squeezenet", "board": "zc706", "architecture": "s",
+                 "typo_field": 1},
+                "unknown field",
+            ),
+        ],
+    )
+    def test_rejects(self, payload, fragment):
+        with pytest.raises(RequestError) as excinfo:
+            parse_evaluate(payload)
+        assert fragment in str(excinfo.value)
+        assert excinfo.value.status == 400
+
+    def test_unknown_model_is_404(self):
+        with pytest.raises(RequestError) as excinfo:
+            parse_evaluate(
+                {"model": "nope", "board": "zc706", "architecture": "segmented"}
+            )
+        assert excinfo.value.status == 404
+        assert excinfo.value.kind == "unknown_model"
+
+    def test_unknown_board_is_404(self):
+        with pytest.raises(RequestError) as excinfo:
+            parse_evaluate(
+                {"model": "squeezenet", "board": "nope", "architecture": "segmented"}
+            )
+        assert excinfo.value.status == 404
+        assert excinfo.value.kind == "unknown_board"
+
+
+class TestParsePrecision:
+    def test_default(self):
+        assert parse_precision(None) == DEFAULT_PRECISION
+
+    def test_round_trip(self):
+        precision = parse_precision({"weights": "int8", "activations": "int16"})
+        assert precision.weights.name == "int8"
+        assert precision_to_dict(precision) == {
+            "weights": "int8",
+            "activations": "int16",
+        }
+
+    @pytest.mark.parametrize(
+        "value",
+        ["int8", {"weights": "int99"}, {"weights": 8}, {"bits": "int8"}],
+    )
+    def test_rejects(self, value):
+        with pytest.raises(RequestError):
+            parse_precision(value)
+
+
+class TestParseSweep:
+    def test_defaults_mean_paper_grid(self):
+        request = parse_sweep({"model": "squeezenet", "board": "zc706"})
+        assert request.architectures is None
+        assert request.ce_counts is None
+
+    def test_ce_counts_list(self):
+        request = parse_sweep(
+            {"model": "squeezenet", "board": "zc706", "ce_counts": [2, 5, 9]}
+        )
+        assert request.ce_counts == (2, 5, 9)
+
+    def test_ce_counts_range(self):
+        request = parse_sweep(
+            {"model": "squeezenet", "board": "zc706",
+             "ce_counts": {"min": 2, "max": 4}}
+        )
+        assert request.ce_counts == (2, 3, 4)
+
+    @pytest.mark.parametrize(
+        "ce_counts",
+        [[], [0], ["2"], {"min": 4, "max": 2}, {"min": 2}, "2-4", {"lo": 1, "max": 2}],
+    )
+    def test_bad_ce_counts(self, ce_counts):
+        with pytest.raises(RequestError):
+            parse_sweep(
+                {"model": "squeezenet", "board": "zc706", "ce_counts": ce_counts}
+            )
+
+    @pytest.mark.parametrize("architectures", [[], [""], "segmented", [2]])
+    def test_bad_architectures(self, architectures):
+        with pytest.raises(RequestError):
+            parse_sweep(
+                {"model": "squeezenet", "board": "zc706",
+                 "architectures": architectures}
+            )
+
+
+class TestParseDse:
+    def test_defaults(self):
+        request = parse_dse({"model": "squeezenet", "board": "zc706"})
+        assert request.samples == 100
+        assert request.seed == 0
+        assert request.cost_metric == "buffers"
+
+    def test_bad_cost_metric(self):
+        with pytest.raises(RequestError) as excinfo:
+            parse_dse(
+                {"model": "squeezenet", "board": "zc706", "cost_metric": "latency"}
+            )
+        assert "cost_metric" in str(excinfo.value)
+
+    def test_samples_cap(self):
+        parse_dse({"model": "squeezenet", "board": "zc706", "samples": 10_000})
+        with pytest.raises(RequestError) as excinfo:
+            parse_dse(
+                {"model": "squeezenet", "board": "zc706", "samples": 10_001}
+            )
+        assert "capped" in str(excinfo.value)
+
+
+class TestErrorMapping:
+    @pytest.mark.parametrize(
+        "error, status, kind",
+        [
+            (NotationError("bad"), 400, "notation_error"),
+            (ShapeError("bad"), 400, "shape_error"),
+            (ValidationError("bad"), 400, "validation_error"),
+            (ResourceError("too big"), 422, "resource_error"),
+            (MCCMError("generic"), 400, "mccm_error"),
+            (RequestError("nope", status=404, kind="unknown_model"), 404, "unknown_model"),
+            (RuntimeError("boom"), 500, "internal_error"),
+        ],
+    )
+    def test_classification(self, error, status, kind):
+        assert classify_error(error) == (status, kind)
+
+    def test_payload_shape(self):
+        payload = error_payload(NotationError("bad brace"))
+        assert payload == {
+            "error": {
+                "kind": "notation_error",
+                "type": "NotationError",
+                "message": "bad brace",
+            }
+        }

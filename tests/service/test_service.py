@@ -1,0 +1,299 @@
+"""End-to-end tests of the HTTP service against a live in-process server.
+
+The acceptance criteria for the service PR are pinned here: a
+``POST /evaluate`` response deserializes to a :class:`CostReport` that is
+bit-identical to ``api.evaluate`` for the same inputs, and 50 concurrent
+mixed requests return correct, request-matched results with 100% cache
+hits on replay.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+import repro
+from repro.api import evaluate as api_evaluate
+from repro.api import resolve_board, resolve_model
+from repro.api import sweep as api_sweep
+from repro.cnn.zoo import available_models
+from repro.dse import CustomDesignSpace, DesignEvaluator, random_search
+from repro.hw.boards import available_boards
+from repro.hw.datatypes import INT8, Precision
+from repro.service import EvaluationService, ServiceClient, ServiceError
+
+MODEL = "squeezenet"
+BOARD = "zc706"
+
+
+@pytest.fixture(scope="module")
+def service():
+    with EvaluationService(port=0) as running:
+        yield running
+
+
+@pytest.fixture(scope="module")
+def client(service):
+    return ServiceClient(service.url)
+
+
+class TestGetEndpoints:
+    def test_healthz(self, client):
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["version"] == repro.__version__
+        assert health["uptime_seconds"] >= 0
+
+    def test_models_match_zoo(self, client):
+        models = client.models()
+        assert [entry["name"] for entry in models] == sorted(available_models())
+        squeezenet = next(entry for entry in models if entry["name"] == MODEL)
+        assert squeezenet["conv_layers"] == resolve_model(MODEL).num_conv_layers
+
+    def test_boards_match_registry(self, client):
+        boards = client.boards()
+        assert [entry["name"] for entry in boards] == available_boards()
+        zc706 = next(entry for entry in boards if entry["name"] == BOARD)
+        board = resolve_board(BOARD)
+        assert zc706["dsp_count"] == board.dsp_count
+        assert zc706["bram_bytes"] == board.bram_bytes
+
+
+class TestEvaluate:
+    def test_bit_identical_to_api(self, client):
+        result = client.evaluate(MODEL, BOARD, "segmentedrr", ce_count=2)
+        direct = api_evaluate(MODEL, BOARD, "segmentedrr", ce_count=2)
+        assert result.feasible
+        assert result.report == direct
+        assert result.raw["fingerprint"]
+
+    def test_replay_hits_cache(self, client):
+        first = client.evaluate(MODEL, BOARD, "hybrid", ce_count=3)
+        replay = client.evaluate(MODEL, BOARD, "hybrid", ce_count=3)
+        assert replay.cached
+        assert replay.report == first.report
+
+    def test_notation_architecture(self, client):
+        notation = "{L1-L10: CE1, L11-Last: CE2}"
+        result = client.evaluate(MODEL, BOARD, notation)
+        assert result.report == api_evaluate(MODEL, BOARD, notation)
+
+    def test_precision_override(self, client):
+        precision = Precision(weights=INT8, activations=INT8)
+        result = client.evaluate(
+            MODEL, BOARD, "segmentedrr", ce_count=2, precision=precision
+        )
+        direct = api_evaluate(
+            MODEL, BOARD, "segmentedrr", ce_count=2, precision=precision
+        )
+        assert result.report == direct
+        assert result.report != api_evaluate(MODEL, BOARD, "segmentedrr", ce_count=2)
+
+    def test_infeasible_is_an_answer_not_an_error(self, client):
+        result = client.evaluate(MODEL, BOARD, "segmentedrr", ce_count=500)
+        assert not result.feasible
+        assert result.report is None
+        assert "ResourceError" in result.reason
+
+
+class TestErrorPayloads:
+    @pytest.mark.parametrize(
+        "kwargs, status, kind",
+        [
+            (dict(model="nope", board=BOARD, architecture="segmented", ce_count=2),
+             404, "unknown_model"),
+            (dict(model=MODEL, board="nope", architecture="segmented", ce_count=2),
+             404, "unknown_board"),
+            (dict(model=MODEL, board=BOARD, architecture="warp", ce_count=2),
+             404, "unknown_architecture"),
+            (dict(model=MODEL, board=BOARD, architecture="{L1: CE1, L1: CE2}"),
+             400, "notation_error"),
+            (dict(model=MODEL, board=BOARD, architecture="segmented"),
+             400, "bad_request"),
+        ],
+    )
+    def test_evaluate_errors(self, client, kwargs, status, kind):
+        with pytest.raises(ServiceError) as excinfo:
+            client.evaluate(**kwargs)
+        assert excinfo.value.status == status
+        assert excinfo.value.kind == kind
+
+    def test_unknown_endpoint(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("GET", "/teapot")
+        assert excinfo.value.status == 404
+        assert excinfo.value.kind == "unknown_endpoint"
+
+    def test_method_not_allowed(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client._request("POST", "/healthz", {})
+        assert excinfo.value.status == 405
+
+    def test_invalid_json_body(self, service, client):
+        request = urllib.request.Request(
+            f"{service.url}/evaluate",
+            method="POST",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request)
+        assert excinfo.value.code == 400
+        assert json.loads(excinfo.value.read())["error"]["kind"] == "invalid_json"
+
+    def test_negative_content_length_rejected(self, service):
+        # A negative length must not reach rfile.read() (it would block
+        # until the peer closes); expect a prompt structured 400.
+        import http.client
+
+        connection = http.client.HTTPConnection(service.host, service.port, timeout=5)
+        try:
+            connection.putrequest("POST", "/evaluate")
+            connection.putheader("Content-Type", "application/json")
+            connection.putheader("Content-Length", "-1")
+            connection.endheaders()
+            response = connection.getresponse()
+            assert response.status == 400
+            assert b"Content-Length" in response.read()
+        finally:
+            connection.close()
+
+    def test_error_counter_in_healthz(self, client):
+        before = client.healthz()["errors"]
+        with pytest.raises(ServiceError):
+            client.evaluate("nope", BOARD, "segmented", ce_count=2)
+        assert client.healthz()["errors"] == before + 1
+
+
+class TestSweep:
+    def test_matches_api_sweep(self, client):
+        over_http = client.sweep(MODEL, BOARD, ce_counts={"min": 2, "max": 4})
+        direct = api_sweep(MODEL, BOARD, ce_counts=range(2, 5))
+        assert over_http.reports == list(direct)
+        assert [
+            (skip.architecture, skip.ce_count) for skip in over_http.skipped
+        ] == [(skip.architecture, skip.ce_count) for skip in direct.skipped]
+
+    def test_skipped_carries_reasons(self, client):
+        result = client.sweep(
+            "alexnet", BOARD, architectures=["segmentedrr"],
+            ce_counts={"min": 2, "max": 8},
+        )
+        # AlexNet has 5 conv layers: CE counts 6..8 are infeasible.
+        assert [skip.ce_count for skip in result.skipped] == [6, 7, 8]
+        assert all(skip.reason for skip in result.skipped)
+
+    def test_warm_sweep_is_all_hits(self, client):
+        client.sweep(MODEL, BOARD, ce_counts=[2, 3])
+        replay = client.sweep(MODEL, BOARD, ce_counts=[2, 3])
+        assert replay.stats["hit_rate"] == 1.0
+
+
+class TestDse:
+    def test_matches_direct_search(self, client):
+        over_http = client.dse(MODEL, BOARD, samples=15, seed=7)
+        graph, board = resolve_model(MODEL), resolve_board(BOARD)
+        space = CustomDesignSpace(graph.conv_specs())
+        evaluator = DesignEvaluator(graph, board)
+        direct = random_search(evaluator, space, samples=15, seed=7)
+        assert over_http.space_size == space.size()
+        assert [report for _design, report in over_http.front] == [
+            report for _design, report in direct.front
+        ]
+        assert [design["ce_count"] for design, _report in over_http.front] == [
+            design.ce_count for design, _report in direct.front
+        ]
+
+
+class TestConcurrency:
+    """The PR's acceptance run: 50 concurrent mixed requests, then a replay."""
+
+    REQUESTS = 50
+
+    def _request_plan(self):
+        """50 mixed requests: 44 evaluates (with duplicates), 3 sweeps, 3 DSEs."""
+        plan = []
+        for index in range(44):
+            architecture = ("segmented", "segmentedrr", "hybrid")[index % 3]
+            ce_count = 2 + (index % 7)
+            plan.append(("evaluate", dict(architecture=architecture, ce_count=ce_count)))
+        for low in (2, 3, 4):
+            plan.append(("sweep", dict(ce_counts=[low, low + 1])))
+        for seed in (1, 2, 3):
+            plan.append(("dse", dict(samples=10, seed=seed)))
+        assert len(plan) == self.REQUESTS
+        return plan
+
+    def _run_concurrently(self, client, plan):
+        results = [None] * len(plan)
+        errors = []
+
+        def work(index, endpoint, kwargs):
+            try:
+                if endpoint == "evaluate":
+                    results[index] = client.evaluate(MODEL, BOARD, **kwargs)
+                elif endpoint == "sweep":
+                    results[index] = client.sweep(MODEL, BOARD, **kwargs)
+                else:
+                    results[index] = client.dse(MODEL, BOARD, **kwargs)
+            except Exception as error:  # pragma: no cover - failure reporting
+                errors.append((index, error))
+
+        threads = [
+            threading.Thread(target=work, args=(index, endpoint, kwargs))
+            for index, (endpoint, kwargs) in enumerate(plan)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors
+        return results
+
+    def test_fifty_concurrent_mixed_requests_and_warm_replay(self):
+        plan = self._request_plan()
+        with EvaluationService(port=0) as service:
+            client = ServiceClient(service.url)
+            cold = self._run_concurrently(client, plan)
+            warm = self._run_concurrently(client, plan)
+
+        # Every response matches the direct, in-process computation for
+        # *its own* request — no cross-request mixups under concurrency.
+        for (endpoint, kwargs), cold_result, warm_result in zip(plan, cold, warm):
+            if endpoint == "evaluate":
+                expected = api_evaluate(MODEL, BOARD, kwargs["architecture"],
+                                        ce_count=kwargs["ce_count"])
+                assert cold_result.report == expected
+                assert warm_result.report == expected
+                # 100% cache hits on replay.
+                assert warm_result.cached
+            elif endpoint == "sweep":
+                expected = api_sweep(MODEL, BOARD, ce_counts=kwargs["ce_counts"])
+                assert cold_result.reports == list(expected)
+                assert warm_result.reports == list(expected)
+                assert warm_result.stats["hit_rate"] == 1.0
+            else:
+                assert cold_result.front == warm_result.front
+                assert warm_result.stats["cache_hits"] == kwargs["samples"]
+
+
+class TestLifecycle:
+    def test_stop_is_graceful_and_idempotent(self):
+        service = EvaluationService(port=0).start()
+        client = ServiceClient(service.url)
+        assert client.healthz()["status"] == "ok"
+        service.stop()
+        service.stop()
+        with pytest.raises(ServiceError) as excinfo:
+            ServiceClient(service.url, timeout=0.5).healthz()
+        assert excinfo.value.kind == "connection_error"
+
+    def test_double_start_rejected(self):
+        service = EvaluationService(port=0).start()
+        try:
+            with pytest.raises(Exception):
+                service.start()
+        finally:
+            service.stop()
