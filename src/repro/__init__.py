@@ -24,7 +24,7 @@ from repro.core.notation import ArchitectureSpec, parse_notation
 from repro.hw.boards import available_boards, get_board
 from repro.runtime import BatchEvaluator, RunStats
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "build_accelerator",

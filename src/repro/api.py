@@ -171,7 +171,7 @@ def sweep(
     ce_counts: Optional[Iterable[int]] = None,
     precision: Precision = DEFAULT_PRECISION,
     *,
-    jobs: int = 1,
+    jobs: Union[int, str] = 1,
     cache_dir: Optional[Union[str, Path]] = None,
     progress: Optional[ProgressCallback] = None,
     runtime: Optional[BatchEvaluator] = None,
@@ -185,7 +185,8 @@ def sweep(
 
     ``jobs``/``cache_dir`` route the evaluations through a parallel,
     memoizing :class:`~repro.runtime.BatchEvaluator`; ``jobs=1`` (default)
-    evaluates serially with results identical to the historical path.
+    evaluates serially with results identical to the historical path, and
+    ``jobs="auto"`` lets the runtime fork only when it would win.
     """
     graph = resolve_model(model)
     fpga = resolve_board(board)

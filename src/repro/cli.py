@@ -7,6 +7,8 @@ Subcommands mirror the library's use cases:
 * ``validate`` — model vs reference-simulator accuracy (Eq. 10).
 * ``dse`` — sample the custom design space and print the Pareto front.
 * ``serve`` — the concurrent HTTP evaluation service (``docs/api.md``).
+* ``bench`` — time the evaluation hot path: cold vs segment-cached vs
+  fingerprint-cached (``docs/performance.md``).
 * ``models`` / ``boards`` — list the registered CNNs and FPGAs.
 
 Bad inputs (unknown model/board names, malformed notation) exit with
@@ -47,12 +49,30 @@ def _nonnegative_int(text: str) -> int:
     return value
 
 
-def _add_runtime(parser: argparse.ArgumentParser) -> None:
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _jobs_value(text: str):
+    """``--jobs`` parser: a non-negative worker count or ``auto``."""
+    if text.strip().lower() == "auto":
+        return "auto"
+    return _nonnegative_int(text)
+
+
+def _add_runtime(parser: argparse.ArgumentParser, default_jobs=1) -> None:
     parser.add_argument(
         "--jobs",
-        type=_nonnegative_int,
-        default=1,
-        help="worker processes for evaluation (0 = one per CPU; default 1, serial)",
+        type=_jobs_value,
+        default=default_jobs,
+        help=(
+            "worker processes for evaluation (0 = one per CPU; 'auto' = fork "
+            "only when the host and batch size make it a win; "
+            f"default {default_jobs})"
+        ),
     )
     parser.add_argument(
         "--cache",
@@ -162,6 +182,34 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    # Imported here so plain CLI runs never pay for the bench harness.
+    from repro.runtime.bench import (
+        check_hotpath_result,
+        format_hotpath_result,
+        run_hotpath_benchmark,
+        write_hotpath_json,
+    )
+
+    samples = min(args.samples, 24) if args.quick else args.samples
+    result = run_hotpath_benchmark(
+        model=args.model, board=args.board, samples=samples, seed=args.seed
+    )
+    if args.output:
+        write_hotpath_json(result, args.output)
+    if args.json:
+        print(json.dumps(result, indent=2, sort_keys=True))
+    else:
+        print(format_hotpath_result(result))
+    if args.quick:
+        problems = check_hotpath_result(result)
+        if problems:
+            for problem in problems:
+                print(f"error: {problem}", file=sys.stderr)
+            return 1
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     # Imported here so plain CLI runs never pay for the service module.
     from repro.service.server import serve
@@ -213,7 +261,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the full JSON dump (reports + skipped configs + stats)",
     )
-    _add_runtime(cmd)
+    _add_runtime(cmd, default_jobs="auto")
     cmd.set_defaults(func=_cmd_sweep)
 
     cmd = commands.add_parser("validate", help="accuracy vs reference simulator")
@@ -232,8 +280,30 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the full JSON dump (Pareto front + stats)",
     )
-    _add_runtime(cmd)
+    _add_runtime(cmd, default_jobs="auto")
     cmd.set_defaults(func=_cmd_dse)
+
+    cmd = commands.add_parser(
+        "bench", help="time the evaluation hot path (cold vs cached)"
+    )
+    cmd.add_argument("--model", default="xception", help="zoo model name")
+    cmd.add_argument("--board", default="vcu110", help="board name")
+    cmd.add_argument(
+        "--samples", type=_positive_int, default=96, help="designs to sample"
+    )
+    cmd.add_argument("--seed", type=int, default=2025)
+    cmd.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke mode: <= 24 samples, exit 1 unless segment-cached "
+        "evaluation beats cold by >= 2x with bit-identical reports",
+    )
+    cmd.add_argument("--json", action="store_true", help="emit the JSON result")
+    cmd.add_argument(
+        "--output", metavar="FILE", default=None,
+        help="also write the JSON result to FILE (e.g. benchmarks/results/hotpath.json)",
+    )
+    cmd.set_defaults(func=_cmd_bench)
 
     cmd = commands.add_parser(
         "serve", help="run the concurrent HTTP evaluation service"

@@ -16,19 +16,26 @@ cites:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.cnn.graph import CNNGraph, ConvSpec
 from repro.core.blocks import PipelinedCEsBlock, SingleCEBlock
 from repro.core.dual import DualEngineBlock, has_mixed_conv_types
 from repro.core.engine import ComputeEngine
 from repro.core.notation import ArchitectureSpec, BlockSpec
+from repro.core.parallelism import ParallelismStrategy, choose_parallelism
 from repro.hw.boards import FPGABoard
 from repro.hw.datatypes import DEFAULT_PRECISION, Precision
 from repro.utils.errors import ResourceError
 from repro.utils.mathutils import proportional_allocation
 
 Block = Union[SingleCEBlock, PipelinedCEsBlock, DualEngineBlock]
+
+#: ``(pe_budget, specs) -> strategy`` — how an engine's parallelism is
+#: fitted. The default is the full bounded search; a segment cache
+#: (:class:`repro.runtime.segcache.SegmentCostCache`) substitutes its
+#: memoized lookup.
+StrategyChooser = Callable[[int, Sequence[ConvSpec]], ParallelismStrategy]
 
 
 @dataclass
@@ -110,6 +117,7 @@ def _build_pipelined_engines(
     layers: Tuple[ConvSpec, ...],
     ce_count: int,
     pe_budget: int,
+    chooser: StrategyChooser = choose_parallelism,
 ) -> Tuple[ComputeEngine, ...]:
     """Size and fit one engine per pipeline position.
 
@@ -131,7 +139,11 @@ def _build_pipelined_engines(
     for position, (position_specs, pes) in enumerate(zip(per_position, pe_split)):
         fit_specs = position_specs or list(layers[:1])
         engines.append(
-            ComputeEngine.fitted(f"{block_name}.CE{position + 1}", pes, fit_specs)
+            ComputeEngine(
+                name=f"{block_name}.CE{position + 1}",
+                pe_count=pes,
+                strategy=chooser(pes, fit_specs),
+            )
         )
     return tuple(engines)
 
@@ -149,19 +161,65 @@ class MultipleCEBuilder:
         self.board = board
         self.precision = precision
         self._conv_specs = graph.conv_specs()
+        # Prefix sums of per-layer MACs: every build needs workload totals
+        # over contiguous layer ranges (PE distribution is MACs-proportional),
+        # and prefix sums make each range O(1) instead of O(layers).
+        prefix = [0]
+        for conv in self._conv_specs:
+            prefix.append(prefix[-1] + conv.macs)
+        self._macs_prefix = prefix
+        self._context_fingerprint: Optional[str] = None
+
+    @property
+    def context(self) -> str:
+        """Fingerprint of this builder's (CNN, board, precision) context.
+
+        Lazily computed (the fingerprint helper lives in the runtime layer,
+        imported only when needed); identical to the context fingerprint a
+        :class:`~repro.runtime.BatchEvaluator` over the same inputs uses.
+        """
+        if self._context_fingerprint is None:
+            from repro.runtime.fingerprint import context_fingerprint
+
+            self._context_fingerprint = context_fingerprint(
+                self.graph, self.board, self.precision
+            )
+        return self._context_fingerprint
 
     @property
     def conv_specs(self) -> List[ConvSpec]:
         return list(self._conv_specs)
 
-    def build(self, spec: ArchitectureSpec) -> Accelerator:
-        """Construct the accelerator: resolve ranges, distribute PEs, fit CEs."""
+    def range_macs(self, block: BlockSpec) -> int:
+        """Total MACs of a resolved block's layer range (O(1))."""
+        layer_range = block.layer_slice()
+        return self._macs_prefix[layer_range.stop] - self._macs_prefix[layer_range.start]
+
+    def build(self, spec: ArchitectureSpec, cache=None) -> Accelerator:
+        """Construct the accelerator: resolve ranges, distribute PEs, fit CEs.
+
+        ``cache`` is an optional segment cache
+        (:class:`repro.runtime.segcache.SegmentCostCache`, duck-typed so the
+        core stays independent of the runtime layer): engine fitting — the
+        dominant build cost — is then memoized per (PE budget, layer set),
+        so designs sharing segments share the fitting work. The built
+        accelerator is field-for-field identical either way.
+
+        The cache is bound to this builder's context on first use — segment
+        keys carry layer indices, not shapes, so one cache must never serve
+        two (model, board, precision) worlds; a cache already bound
+        elsewhere raises :class:`~repro.utils.errors.MCCMError` here.
+        """
+        if cache is not None:
+            cache.bind(self.context)
         resolved = spec.resolved(len(self._conv_specs))
         if resolved.total_ces > self.board.pe_count:
             raise ResourceError(
                 f"{resolved.name}: {resolved.total_ces} CEs exceed the board's "
                 f"{self.board.pe_count} PEs"
             )
+
+        chooser: StrategyChooser = cache.strategy if cache is not None else choose_parallelism
 
         block_layers = [_block_layers(block, self._conv_specs) for block in resolved.blocks]
 
@@ -176,6 +234,7 @@ class MultipleCEBuilder:
         group_order: List[str] = []
         group_layers: Dict[str, List[ConvSpec]] = {}
         group_minimum: Dict[str, int] = {}
+        group_macs: Dict[str, int] = {}
         for index, (block, layers, group) in enumerate(
             zip(resolved.blocks, block_layers, groups)
         ):
@@ -183,10 +242,10 @@ class MultipleCEBuilder:
                 group_order.append(group)
                 group_layers[group] = []
                 group_minimum[group] = block.ce_count
+                group_macs[group] = 0
             group_layers[group].extend(layers)
-        group_workloads = [
-            max(1.0, float(sum(s.macs for s in group_layers[g]))) for g in group_order
-        ]
+            group_macs[group] += self.range_macs(block)
+        group_workloads = [max(1.0, float(group_macs[g])) for g in group_order]
         group_pes = dict(
             zip(
                 group_order,
@@ -208,7 +267,9 @@ class MultipleCEBuilder:
             name = f"B{position + 1}"
             group = groups[position]
             if block_spec.is_pipelined:
-                engines = _build_pipelined_engines(name, layers, block_spec.ce_count, pes)
+                engines = _build_pipelined_engines(
+                    name, layers, block_spec.ce_count, pes, chooser
+                )
                 blocks.append(
                     PipelinedCEsBlock(
                         name=name,
@@ -234,6 +295,7 @@ class MultipleCEBuilder:
                             layers,
                             precision=self.precision,
                             bytes_per_cycle=bytes_per_cycle,
+                            chooser=chooser,
                         )
                     )
                 else:
@@ -243,8 +305,10 @@ class MultipleCEBuilder:
                         # Fit the engine to every layer its CE will ever
                         # process — the Section IV-B1 "optimized for the
                         # average case rather than for a unique segment".
-                        engine = ComputeEngine.fitted(
-                            f"{name}.CE1", pes, tuple(group_layers[group])
+                        engine = ComputeEngine(
+                            name=f"{name}.CE1",
+                            pe_count=pes,
+                            strategy=chooser(pes, tuple(group_layers[group])),
                         )
                         shared_engines[group] = engine
                     blocks.append(

@@ -21,7 +21,7 @@ grained) pipelining across blocks:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.core.cost.allocation import AllocationPlan, allocate_onchip
 from repro.core.cost.results import AccessBreakdown, BlockEvaluation, CostReport
@@ -29,14 +29,32 @@ from repro.core.cost.results import AccessBreakdown, BlockEvaluation, CostReport
 if TYPE_CHECKING:  # avoid a circular import; Accelerator is only a type here
     from repro.core.builder import Accelerator
 
+#: ``(mandatory_bytes, ideal_bytes)`` per block — the Eq. 4/5 footprints
+#: the allocator and the Eq. 8 requirement both consume.
+Footprint = Tuple[int, int]
+
 
 class MCCM:
     """The Multiple-CE accelerator analytical Cost Model."""
 
-    def evaluate(self, accelerator: "Accelerator") -> CostReport:
-        """Produce the full cost report for one built accelerator."""
-        plan = self._allocate(accelerator)
-        evaluations = self._evaluate_blocks(accelerator, plan)
+    def evaluate(self, accelerator: "Accelerator", segment_cache=None) -> CostReport:
+        """Produce the full cost report for one built accelerator.
+
+        ``segment_cache`` is an optional
+        :class:`repro.runtime.segcache.SegmentCostCache` (duck-typed; the
+        core does not import the runtime layer). When present, per-block
+        buffer footprints and block evaluations — the expensive, segment-
+        local work — are served from the cache; the pipeline-level Eq. 2/3
+        composition below always runs fresh. Reports are bit-identical with
+        and without a cache.
+
+        The cache is trusted to belong to the accelerator's evaluation
+        context: :meth:`MultipleCEBuilder.build` binds it during the build
+        step, so pass the same cache object through both stages.
+        """
+        footprints = self._block_footprints(accelerator, segment_cache)
+        plan = self._allocate(accelerator, footprints)
+        evaluations = self._evaluate_blocks(accelerator, plan, segment_cache)
 
         latency = sum(evaluation.latency_cycles for evaluation in evaluations)
         accesses = AccessBreakdown()
@@ -66,10 +84,8 @@ class MCCM:
         # Eq. 8: a CE processing multiple segments reuses one buffer sized
         # for its worst segment, so shared groups contribute their max.
         group_ideal = {}
-        for group, block in zip(accelerator.block_groups, accelerator.blocks):
-            group_ideal[group] = max(
-                group_ideal.get(group, 0), block.ideal_buffer_bytes()
-            )
+        for group, (_mandatory, ideal) in zip(accelerator.block_groups, footprints):
+            group_ideal[group] = max(group_ideal.get(group, 0), ideal)
         requirement = sum(group_ideal.values()) + inter_seg_requirement
 
         return CostReport(
@@ -101,22 +117,41 @@ class MCCM:
         return max(sizes)
 
     @staticmethod
-    def _allocate(accelerator: "Accelerator") -> AllocationPlan:
+    def _block_footprints(
+        accelerator: "Accelerator", segment_cache=None
+    ) -> List[Footprint]:
+        """Eq. 4/5 ``(mandatory, ideal)`` bytes per block, cache-aware."""
+        if segment_cache is not None:
+            return [
+                segment_cache.block_footprint(block) for block in accelerator.blocks
+            ]
+        return [
+            (block.mandatory_buffer_bytes(), block.ideal_buffer_bytes())
+            for block in accelerator.blocks
+        ]
+
+    @staticmethod
+    def _allocate(
+        accelerator: "Accelerator", footprints: Optional[Sequence[Footprint]] = None
+    ) -> AllocationPlan:
         """Group-aware BRAM allocation.
 
         Blocks sharing a CE share one physical buffer (Eq. 8): the group is
         allocated once, sized by its worst member, and every member block
-        evaluates against that same allocation.
+        evaluates against that same allocation. ``footprints`` lets the
+        caller reuse already-computed Eq. 4/5 requirements; omitted, they
+        are computed here (the historical signature the synthesis simulator
+        still uses).
         """
+        if footprints is None:
+            footprints = MCCM._block_footprints(accelerator)
         members = accelerator.group_members()
         group_order = list(members)
         group_mandatory = [
-            max(accelerator.blocks[i].mandatory_buffer_bytes() for i in members[g])
-            for g in group_order
+            max(footprints[i][0] for i in members[g]) for g in group_order
         ]
         group_ideal = [
-            max(accelerator.blocks[i].ideal_buffer_bytes() for i in members[g])
-            for g in group_order
+            max(footprints[i][1] for i in members[g]) for g in group_order
         ]
         plan = allocate_onchip(
             capacity_bytes=accelerator.board.bram_bytes,
@@ -137,13 +172,16 @@ class MCCM:
 
     @staticmethod
     def _evaluate_blocks(
-        accelerator: "Accelerator", plan: AllocationPlan
+        accelerator: "Accelerator", plan: AllocationPlan, segment_cache=None
     ) -> List[BlockEvaluation]:
         """Run every block model, wiring boundary traffic per Eq. 9.
 
         The CNN input load and output store are always off-chip; a spilled
         interface charges its store to the producer block and its load to
         the consumer block (together the ``2 x interSegBufferSz`` of Eq. 9).
+        With a segment cache, a block whose (segment, allocation, boundary
+        traffic) signature has been costed before reuses that evaluation,
+        rebased to this design's block name and segment indices.
         """
         evaluations: List[BlockEvaluation] = []
         num_blocks = len(accelerator.blocks)
@@ -161,12 +199,21 @@ class MCCM:
             else:
                 if not plan.inter_segment_onchip[index]:
                     output_extra += accelerator.inter_segment_bytes[index]
-            evaluation = block.evaluate(
-                plan.block_bytes[index],
-                input_extra_bytes=input_extra,
-                output_extra_bytes=output_extra,
-                segment_index=segment_cursor,
-            )
+            if segment_cache is not None:
+                evaluation = segment_cache.block_evaluation(
+                    block,
+                    plan.block_bytes[index],
+                    input_extra,
+                    output_extra,
+                    segment_cursor,
+                )
+            else:
+                evaluation = block.evaluate(
+                    plan.block_bytes[index],
+                    input_extra_bytes=input_extra,
+                    output_extra_bytes=output_extra,
+                    segment_index=segment_cursor,
+                )
             segment_cursor += len(evaluation.segments)
             evaluations.append(evaluation)
         return evaluations

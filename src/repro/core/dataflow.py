@@ -11,6 +11,7 @@ determines the minimum resident *weights tile* used by the buffer model
 from __future__ import annotations
 
 import enum
+from functools import lru_cache
 
 from repro.cnn.graph import ConvSpec
 from repro.core.parallelism import Dimension, ParallelismStrategy
@@ -28,6 +29,7 @@ class Dataflow(enum.Enum):
 DEFAULT_DATAFLOW = Dataflow.OUTPUT_STATIONARY
 
 
+@lru_cache(maxsize=262144)
 def weights_tile_elements(
     spec: ConvSpec, strategy: ParallelismStrategy, dataflow: Dataflow
 ) -> int:
@@ -46,6 +48,7 @@ def weights_tile_elements(
     return min(spec.weight_count, max(1, pk) * per_filter)
 
 
+@lru_cache(maxsize=65536)
 def ifm_row_elements(spec: ConvSpec) -> int:
     """Elements of one IFM row band needed to produce one OFM row.
 

@@ -23,7 +23,7 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.cnn.graph import ConvSpec
 from repro.utils.errors import ResourceError
-from repro.utils.mathutils import ceil_div, factors, prod
+from repro.utils.mathutils import factors, prod
 
 
 class Dimension(enum.Enum):
@@ -67,6 +67,17 @@ class ParallelismStrategy:
             if dimension in seen:
                 raise ResourceError(f"duplicate degree for dimension {dimension.value}")
             seen.add(dimension)
+        # Eq. 1 is evaluated millions of times per DSE run; precompute the
+        # degree lookup once per strategy instead of scanning per call.
+        # (object.__setattr__ because the dataclass is frozen; neither
+        # attribute participates in equality or hashing.)
+        degree_map = dict(self.degrees)
+        object.__setattr__(self, "_degree_map", degree_map)
+        object.__setattr__(
+            self,
+            "_degrees6",
+            tuple(degree_map.get(dimension, 1) for dimension in Dimension),
+        )
 
     @classmethod
     def from_dict(cls, degrees: Dict[Dimension, int]) -> "ParallelismStrategy":
@@ -74,10 +85,12 @@ class ParallelismStrategy:
         return cls(degrees=ordered)
 
     def degree(self, dimension: Dimension) -> int:
-        for dim, deg in self.degrees:
-            if dim is dimension:
-                return deg
-        return 1
+        return self._degree_map.get(dimension, 1)
+
+    @property
+    def degrees6(self) -> Tuple[int, int, int, int, int, int]:
+        """Degrees for all six loop dimensions in :class:`Dimension` order."""
+        return self._degrees6
 
     @property
     def total_parallelism(self) -> int:
@@ -100,12 +113,21 @@ def layer_cycles(spec: ConvSpec, strategy: ParallelismStrategy) -> int:
     ``Lat(Li, CEj) = prod over dimensions d of ceil(|d| / Par(CEj, d))``.
     Ceilings materialize PE underutilization: a degree that does not divide
     the extent wastes PEs on the ragged final iteration.
+
+    This is the innermost kernel of every evaluation; the extents are read
+    straight off the spec (no per-dimension dispatch) and the ceilings are
+    inlined (``-(-a // b)`` == ``ceil_div`` for the positive operands both
+    sides guarantee).
     """
-    cycles = 1
-    for dimension in Dimension:
-        extent = dimension_extent(spec, dimension)
-        cycles *= ceil_div(extent, strategy.degree(dimension))
-    return cycles
+    pk, pc, ph, pw, pr, ps = strategy.degrees6
+    return (
+        -(-spec.filters // pk)
+        * -(-spec.channels // pc)
+        * -(-spec.out_height // ph)
+        * -(-spec.out_width // pw)
+        * -(-spec.kernel_height // pr)
+        * -(-spec.kernel_width // ps)
+    )
 
 
 def layer_utilization(spec: ConvSpec, strategy: ParallelismStrategy, pe_count: int) -> float:
@@ -150,27 +172,40 @@ def _search_cached(
     h_candidates = _divisor_candidates(heights, budget)
     w_candidates = _divisor_candidates(widths, budget)
 
+    # The triple loop below evaluates |K| x |H| x |W| candidate strategies
+    # over every layer. Hoist everything that does not depend on the full
+    # (pk, ph, pw) triple: the C*R*S multiplier per layer, and the per-layer
+    # ceiling tables for each candidate degree, so the innermost loop is a
+    # single multiply-accumulate per layer instead of three ceil_div calls.
+    crs = [c * r * s for (_k, c, _h, _w, r, s, _m) in layer_key]
+    k_ceils = [[-(-k // pk) for k in filters] for pk in k_candidates]
+    h_ceils = [[-(-h // ph) for h in heights] for ph in h_candidates]
+    w_ceils = [[-(-w // pw) for w in widths] for pw in w_candidates]
+
     best_cost = None
     best = (1, 1, 1)
-    for pk in k_candidates:
+    best_par = 1
+    for i, pk in enumerate(k_candidates):
         if pk > budget:
             continue
-        for ph in h_candidates:
+        partial_k = [m * ceil for m, ceil in zip(crs, k_ceils[i])]
+        for j, ph in enumerate(h_candidates):
             if pk * ph > budget:
                 continue
-            for pw in w_candidates:
-                if pk * ph * pw > budget:
+            partial_kh = [m * ceil for m, ceil in zip(partial_k, h_ceils[j])]
+            for m_index, pw in enumerate(w_candidates):
+                par = pk * ph * pw
+                if par > budget:
                     continue
                 cost = 0
-                for (k, c, h, w, r, s, _macs) in layer_key:
-                    cost += (
-                        ceil_div(k, pk) * ceil_div(h, ph) * ceil_div(w, pw) * c * r * s
-                    )
+                for partial, ceil in zip(partial_kh, w_ceils[m_index]):
+                    cost += partial * ceil
                 if best_cost is None or cost < best_cost or (
-                    cost == best_cost and pk * ph * pw > prod(best)
+                    cost == best_cost and par > best_par
                 ):
                     best_cost = cost
                     best = (pk, ph, pw)
+                    best_par = par
     pk, ph, pw = best
     return (("K", pk), ("H", ph), ("W", pw))
 

@@ -3,8 +3,11 @@
 Couples a :class:`~repro.dse.space.CustomDesignSpace` with the
 :class:`~repro.runtime.BatchEvaluator` runtime: evaluations are
 fingerprint-memoized (so local search revisiting a neighbourhood pays
-nothing), optionally persisted to disk, and — with ``jobs > 1`` — fanned
-out over a worker pool without changing which designs get sampled.
+nothing), *segment*-memoized (custom designs are partitions of one layer
+list, so two designs differing in one cut share nearly all per-segment
+build and cost work — see :mod:`repro.runtime.segcache`), optionally
+persisted to disk, and — when the runtime decides to fork — fanned out
+over a worker pool without changing which designs get sampled.
 """
 
 from __future__ import annotations
@@ -68,12 +71,18 @@ class DesignEvaluator:
         board: FPGABoard,
         precision: Precision = DEFAULT_PRECISION,
         *,
-        jobs: int = 1,
+        jobs: Union[int, str] = "auto",
         cache_dir: Optional[Union[str, Path]] = None,
+        segment_cache_entries: Optional[int] = None,
         runtime: Optional[BatchEvaluator] = None,
     ) -> None:
         self._runtime = runtime or BatchEvaluator(
-            graph, board, precision, jobs=jobs, cache_dir=cache_dir
+            graph,
+            board,
+            precision,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            segment_cache_entries=segment_cache_entries,
         )
 
     @property

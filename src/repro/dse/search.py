@@ -4,6 +4,12 @@ The paper's Use case 3 evaluates a random sample and reads improvements off
 the Pareto front; this module adds a local-search refinement (hill climbing
 from the sampled front) since MCCM evaluations are cheap enough to spend on
 neighbourhoods of promising designs.
+
+All strategies evaluate through one shared :class:`DesignEvaluator`, so
+the runtime's caches compound across phases: ``guided_search``'s local
+refinements hit the segment cache warmed by its random-sampling phase
+(a mutated neighbour shares all but one segment with its parent), and
+revisited designs answer from the fingerprint cache outright.
 """
 
 from __future__ import annotations

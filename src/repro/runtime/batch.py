@@ -8,6 +8,11 @@ spend them *well*:
   memoized through an in-memory LRU plus an optional on-disk JSON cache,
   so sweeps, local search, and repeated CLI runs never re-evaluate a
   design they have already seen;
+* fingerprint misses are evaluated **incrementally** through a
+  per-evaluator :class:`~repro.runtime.segcache.SegmentCostCache`:
+  designs sharing segments (every DSE neighbourhood, most sweeps) share
+  the per-segment build and costing work, with composed reports
+  bit-identical to the cold path;
 * cache misses fan out over a ``multiprocessing`` worker pool with
   chunked dispatch, while results stream back to the caller **in request
   order** so downstream code stays deterministic;
@@ -16,7 +21,11 @@ spend them *well*:
 
 ``jobs=1`` short-circuits the pool entirely and evaluates inline with the
 same builder/model objects a serial caller would use, so single-process
-results are bit-identical to the pre-runtime code path.
+results are bit-identical to the pre-runtime code path. The default
+``jobs="auto"`` only forks when it can plausibly win: never on a 1-CPU
+host, and never for a batch whose miss count is too small to amortize
+pool startup — ``benchmarks/results/runtime_scaling.txt`` documents the
+sub-1x "speedup" that forcing a pool on a small host actually delivers.
 """
 
 from __future__ import annotations
@@ -36,10 +45,20 @@ from repro.hw.boards import FPGABoard
 from repro.hw.datatypes import DEFAULT_PRECISION, Precision
 from repro.runtime.cache import CacheEntry, DiskCache, LRUCache
 from repro.runtime.fingerprint import context_fingerprint, spec_fingerprint
+from repro.runtime.segcache import DEFAULT_SEGMENT_ENTRIES, SegmentCostCache
 from repro.utils.errors import ResourceError
+from repro.utils.mathutils import ceil_div
 
 #: ``progress(completed, total)`` — invoked after each item of a batch.
 ProgressCallback = Callable[[int, int], None]
+
+#: ``jobs="auto"``: smallest miss count worth a worker pool. Pool startup
+#: costs ~100 ms plus per-task pickling; with segment-cached evaluations
+#: running well under a millisecond, small batches always lose the fork.
+AUTO_FORK_MIN_MISSES = 128
+
+#: ``jobs="auto"``: misses each forked worker should have to chew on.
+AUTO_MISSES_PER_WORKER = 32
 
 
 @dataclass
@@ -110,26 +129,37 @@ class BatchItem:
 
 
 # --- worker-process plumbing -------------------------------------------------
-# Workers rebuild the (builder, model) pair once at pool start; tasks then
-# carry only the lightweight ArchitectureSpec.
+# Workers rebuild the (builder, model, segment cache) triple once at pool
+# start; tasks then carry only the lightweight ArchitectureSpec. The segment
+# cache is worker-local — segments memoize within each worker's share of the
+# batch without any cross-process synchronization.
 
-_WORKER_STATE: Optional[Tuple[MultipleCEBuilder, object]] = None
+_WORKER_STATE: Optional[Tuple[MultipleCEBuilder, object, Optional[SegmentCostCache]]] = None
 
 
-def _worker_init(graph: CNNGraph, board: FPGABoard, precision: Precision) -> None:
+def _worker_init(
+    graph: CNNGraph,
+    board: FPGABoard,
+    precision: Precision,
+    segment_entries: int = DEFAULT_SEGMENT_ENTRIES,
+) -> None:
     global _WORKER_STATE
-    _WORKER_STATE = (MultipleCEBuilder(graph, board, precision), default_model())
+    segcache = SegmentCostCache(segment_entries) if segment_entries > 0 else None
+    _WORKER_STATE = (MultipleCEBuilder(graph, board, precision), default_model(), segcache)
 
 
 def _evaluate_with(
-    builder: MultipleCEBuilder, model, spec: ArchitectureSpec
+    builder: MultipleCEBuilder,
+    model,
+    spec: ArchitectureSpec,
+    segcache: Optional[SegmentCostCache] = None,
 ) -> CacheEntry:
     # Only resource exhaustion marks a design infeasible. Other MCCMError
     # subclasses (shape/notation/validation problems) indicate a bad request
     # or a genuine bug and must propagate — caching them as "infeasible"
     # would persist a bogus verdict.
     try:
-        report = model.evaluate(builder.build(spec))
+        report = model.evaluate(builder.build(spec, cache=segcache), segment_cache=segcache)
     except ResourceError as error:
         return CacheEntry(report=None, reason=f"{type(error).__name__}: {error}")
     return CacheEntry(report=report)
@@ -137,8 +167,8 @@ def _evaluate_with(
 
 def _worker_evaluate(spec: ArchitectureSpec) -> CacheEntry:
     assert _WORKER_STATE is not None, "worker pool not initialized"
-    builder, model = _WORKER_STATE
-    return _evaluate_with(builder, model, spec)
+    builder, model, segcache = _WORKER_STATE
+    return _evaluate_with(builder, model, spec, segcache)
 
 
 class BatchEvaluator:
@@ -150,13 +180,28 @@ class BatchEvaluator:
         The evaluation context; fixed for the evaluator's lifetime and
         folded into every cache key.
     jobs:
-        Worker processes. ``1`` (default) evaluates inline — bit-identical
-        to the historical serial path. ``0`` means "one per CPU".
+        Worker processes. ``"auto"`` (default) evaluates inline unless the
+        host has multiple CPUs **and** a batch carries enough fingerprint
+        misses to amortize pool startup (see :data:`AUTO_FORK_MIN_MISSES`);
+        results are identical either way. ``1`` always evaluates inline —
+        bit-identical to the historical serial path. ``0`` means "one per
+        CPU"; any other integer forces that many workers.
     cache_entries:
         Capacity of the in-memory LRU.
     cache_dir:
         Optional directory for the persistent JSON cache shared across
         processes and runs.
+    segment_cache:
+        Optional externally shared
+        :class:`~repro.runtime.segcache.SegmentCostCache`; it must belong
+        to this evaluator's (model, board, precision) context. Default:
+        a private cache of ``segment_cache_entries`` entries.
+    segment_cache_entries:
+        Capacity of the private segment cache; ``None`` (default) uses
+        :data:`~repro.runtime.segcache.DEFAULT_SEGMENT_ENTRIES`, and ``0``
+        disables segment memoization entirely (full rebuild per
+        fingerprint miss — the pre-incremental behavior, kept for
+        benchmarking the difference).
     progress:
         Default per-batch progress callback; overridable per call.
     """
@@ -167,13 +212,22 @@ class BatchEvaluator:
         board: FPGABoard,
         precision: Precision = DEFAULT_PRECISION,
         *,
-        jobs: int = 1,
+        jobs: Union[int, str] = "auto",
         cache_entries: int = 65536,
         cache_dir: Optional[Union[str, Path]] = None,
         chunk_size: Optional[int] = None,
+        segment_cache: Optional[SegmentCostCache] = None,
+        segment_cache_entries: Optional[int] = None,
         progress: Optional[ProgressCallback] = None,
     ) -> None:
-        if jobs < 0:
+        if segment_cache_entries is None:
+            segment_cache_entries = DEFAULT_SEGMENT_ENTRIES
+        self._auto_jobs = jobs == "auto"
+        if self._auto_jobs:
+            jobs = 1
+        elif not isinstance(jobs, int):
+            raise ValueError(f'jobs must be an int >= 0 or "auto", got {jobs!r}')
+        elif jobs < 0:
             raise ValueError(f"jobs must be >= 0, got {jobs}")
         self.graph = graph
         self.board = board
@@ -186,7 +240,17 @@ class BatchEvaluator:
         self._context = context_fingerprint(graph, board, precision)
         self._memory = LRUCache(max_entries=cache_entries)
         self._disk = DiskCache(cache_dir) if cache_dir is not None else None
+        if segment_cache is not None:
+            self._segcache: Optional[SegmentCostCache] = segment_cache.bind(self._context)
+        elif segment_cache_entries > 0:
+            self._segcache = SegmentCostCache(segment_cache_entries, context=self._context)
+        else:
+            self._segcache = None
+        self._segment_entries = (
+            self._segcache.max_entries if self._segcache is not None else 0
+        )
         self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._pool_jobs = 0
         self.last_run = RunStats(jobs=self.jobs)
         self.totals = RunStats(jobs=self.jobs)
 
@@ -195,13 +259,38 @@ class BatchEvaluator:
     def builder(self) -> MultipleCEBuilder:
         return self._builder
 
-    def _ensure_pool(self) -> "multiprocessing.pool.Pool":
+    @property
+    def segment_cache(self) -> Optional[SegmentCostCache]:
+        """This evaluator's segment cache (``None`` when disabled)."""
+        return self._segcache
+
+    def _effective_jobs(self, miss_count: int) -> int:
+        """Workers to use for a batch with ``miss_count`` fingerprint misses.
+
+        Explicit ``jobs`` values are honored as-is. ``"auto"`` refuses to
+        fork when the host has one CPU or the batch is too small for the
+        pool to pay for itself, and otherwise sizes the pool so each worker
+        has at least :data:`AUTO_MISSES_PER_WORKER` misses to amortize its
+        startup.
+        """
+        if not self._auto_jobs:
+            return self.jobs
+        cpus = multiprocessing.cpu_count() or 1
+        if cpus <= 1 or miss_count < AUTO_FORK_MIN_MISSES:
+            return 1
+        return max(2, min(cpus, miss_count // AUTO_MISSES_PER_WORKER))
+
+    def _ensure_pool(self, jobs: int) -> "multiprocessing.pool.Pool":
+        # An existing pool is reused even if a later batch resolves to a
+        # different auto size: worker startup dwarfs the marginal gain of
+        # resizing, and results never depend on the worker count.
         if self._pool is None:
             self._pool = multiprocessing.Pool(
-                processes=self.jobs,
+                processes=jobs,
                 initializer=_worker_init,
-                initargs=(self.graph, self.board, self.precision),
+                initargs=(self.graph, self.board, self.precision, self._segment_entries),
             )
+            self._pool_jobs = jobs
         return self._pool
 
     def close(self) -> None:
@@ -210,6 +299,7 @@ class BatchEvaluator:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
+            self._pool_jobs = 0
 
     def __enter__(self) -> "BatchEvaluator":
         return self
@@ -286,9 +376,15 @@ class BatchEvaluator:
                 pending_seen.add(key)
                 pending.append((key, spec))
 
+        use_jobs = self._effective_jobs(len(pending))
+        if use_jobs > 1 and self._pool is not None:
+            # An existing pool is reused whatever size this batch resolved
+            # to; record the worker count that will actually run.
+            use_jobs = self._pool_jobs
+        stats.jobs = use_jobs
         inflight = zip(
             (key for key, _spec in pending),
-            self._dispatch([spec for _key, spec in pending]),
+            self._dispatch([spec for _key, spec in pending], use_jobs),
         )
 
         yielded = set()
@@ -323,20 +419,26 @@ class BatchEvaluator:
             self.totals.absorb(stats)
 
     def _dispatch(
-        self, specs: Sequence[ArchitectureSpec]
+        self, specs: Sequence[ArchitectureSpec], jobs: Optional[int] = None
     ) -> Iterator[CacheEntry]:
         """Evaluate cache misses — inline when serial, pooled when not."""
         if not specs:
             return iter(())
-        if self.jobs == 1 or len(specs) == 1:
+        if jobs is None:
+            jobs = self.jobs
+        if jobs == 1 or len(specs) == 1:
             return (
-                _evaluate_with(self._builder, self._model, spec) for spec in specs
+                _evaluate_with(self._builder, self._model, spec, self._segcache)
+                for spec in specs
             )
-        pool = self._ensure_pool()
+        pool = self._ensure_pool(jobs)
         if self.chunk_size is not None:
             chunk = self.chunk_size
         else:
-            chunk = max(1, min(32, len(specs) // (self.jobs * 4) or 1))
+            # Aim for ~4 chunks per worker: enough slack to rebalance a
+            # straggler, big enough that per-chunk pickling does not drown
+            # the sub-millisecond segment-cached evaluations.
+            chunk = max(1, min(64, ceil_div(len(specs), self._pool_jobs * 4)))
         return pool.imap(_worker_evaluate, specs, chunksize=chunk)
 
     def evaluate_specs(
@@ -371,10 +473,12 @@ class BatchEvaluator:
             "memory_entries": len(self._memory),
             "memory_hits": self._memory.hits,
             "memory_misses": self._memory.misses,
-            "jobs": self.jobs,
+            "jobs": "auto" if self._auto_jobs else self.jobs,
         }
         if self._disk is not None:
             info["disk_dir"] = str(self._disk.directory)
             info["disk_hits"] = self._disk.hits
             info["disk_misses"] = self._disk.misses
+        if self._segcache is not None:
+            info["segment_cache"] = self._segcache.info()
         return info

@@ -54,13 +54,18 @@ class ServiceState:
     def __init__(
         self,
         *,
-        jobs: int = 1,
+        jobs: Union[int, str] = 1,
         cache_dir: Optional[str] = None,
         cache_entries: int = 65536,
+        segment_cache_entries: Optional[int] = None,
     ) -> None:
         self.jobs = jobs
         self.cache_dir = cache_dir
         self.cache_entries = cache_entries
+        #: ``None`` keeps the runtime's default segment-cache capacity; the
+        #: cache itself is what lets a warm service answer *novel* designs
+        #: quickly, not just replayed ones.
+        self.segment_cache_entries = segment_cache_entries
         self.started = time.time()
         self._registry_lock = threading.Lock()
         #: canonical (model, board, weights, activations) context key ->
@@ -97,6 +102,7 @@ class ServiceState:
                     jobs=self.jobs,
                     cache_entries=self.cache_entries,
                     cache_dir=self.cache_dir,
+                    segment_cache_entries=self.segment_cache_entries,
                 )
                 entry = (evaluator, threading.Lock())
                 self._evaluators[key] = entry
@@ -104,11 +110,27 @@ class ServiceState:
 
     def runtime_totals(self) -> RunStats:
         """Lifetime counters aggregated across every context's evaluator."""
-        totals = RunStats(jobs=self.jobs)
+        totals = RunStats(jobs=self.jobs if isinstance(self.jobs, int) else 1)
         with self._registry_lock:
             evaluators = [evaluator for evaluator, _lock in self._evaluators.values()]
         for evaluator in evaluators:
             totals.absorb(evaluator.totals)
+        return totals
+
+    def segment_cache_totals(self) -> Dict[str, int]:
+        """Aggregate segment-cache counters across every context's evaluator."""
+        totals = {"entries": 0, "hits": 0, "misses": 0, "evaluations": 0}
+        with self._registry_lock:
+            caches = [
+                evaluator.segment_cache
+                for evaluator, _lock in self._evaluators.values()
+            ]
+        for cache in caches:
+            if cache is None:
+                continue
+            info = cache.info()
+            for key in totals:
+                totals[key] += info[key]
         return totals
 
     @property
@@ -170,6 +192,7 @@ def handle_healthz(state: ServiceState) -> Response:
         "requests": requests,
         "errors": errors,
         "runtime": totals.to_dict(),
+        "segment_cache": state.segment_cache_totals(),
     }
 
 

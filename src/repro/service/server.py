@@ -20,7 +20,7 @@ import json
 import logging
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple, Union
 
 import repro
 from repro.service import handlers, schema
@@ -166,12 +166,16 @@ class EvaluationService:
         host: str = "127.0.0.1",
         port: int = 8100,
         *,
-        jobs: int = 1,
+        jobs: Union[int, str] = 1,
         cache_dir: Optional[str] = None,
         cache_entries: int = 65536,
+        segment_cache_entries: Optional[int] = None,
     ) -> None:
         self.state = ServiceState(
-            jobs=jobs, cache_dir=cache_dir, cache_entries=cache_entries
+            jobs=jobs,
+            cache_dir=cache_dir,
+            cache_entries=cache_entries,
+            segment_cache_entries=segment_cache_entries,
         )
         self._httpd = _ThreadingServer((host, port), _RequestHandler)
         self._httpd.service_state = self.state  # type: ignore[attr-defined]
@@ -229,7 +233,7 @@ def serve(
     host: str = "127.0.0.1",
     port: int = 8100,
     *,
-    jobs: int = 1,
+    jobs: Union[int, str] = 1,
     cache_dir: Optional[str] = None,
 ) -> int:
     """Run the service in the foreground until Ctrl-C (``repro serve``)."""

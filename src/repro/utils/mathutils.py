@@ -11,6 +11,7 @@ arithmetic.
 from __future__ import annotations
 
 import math
+from functools import lru_cache
 from typing import Iterable, List, Sequence, Tuple
 
 
@@ -43,10 +44,14 @@ def clamp(value: float, low: float, high: float) -> float:
     return max(low, min(high, value))
 
 
-def factors(n: int) -> List[int]:
-    """All positive divisors of ``n`` in ascending order."""
-    if n <= 0:
-        raise ValueError(f"n must be positive, got {n}")
+@lru_cache(maxsize=16384)
+def _factors_cached(n: int) -> Tuple[int, ...]:
+    """Memoized divisor enumeration behind :func:`factors`.
+
+    Layer dimensions recur constantly across parallelism searches (every
+    CNN reuses a handful of channel/spatial extents), so the O(sqrt(n))
+    trial division is paid once per distinct extent per process.
+    """
     small: List[int] = []
     large: List[int] = []
     limit = int(math.isqrt(n))
@@ -56,7 +61,14 @@ def factors(n: int) -> List[int]:
             other = n // candidate
             if other != candidate:
                 large.append(other)
-    return small + large[::-1]
+    return tuple(small + large[::-1])
+
+
+def factors(n: int) -> List[int]:
+    """All positive divisors of ``n`` in ascending order."""
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    return list(_factors_cached(n))
 
 
 def factor_pairs(n: int) -> List[Tuple[int, int]]:

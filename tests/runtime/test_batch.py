@@ -164,3 +164,63 @@ class TestDiskPersistence:
         other.evaluate_specs(specs)
         # same specs, different board: nothing may come back from disk
         assert other.last_run.disk_hits == 0
+
+
+class TestAutoJobs:
+    """``jobs="auto"``: serial on small hosts/batches, identical results."""
+
+    def test_default_is_auto(self, context):
+        cnn, board = context
+        evaluator = BatchEvaluator(cnn, board)
+        assert evaluator.cache_info()["jobs"] == "auto"
+
+    def test_explicit_jobs_reported_as_int(self, context):
+        cnn, board = context
+        assert BatchEvaluator(cnn, board, jobs=1).cache_info()["jobs"] == 1
+
+    def test_rejects_unknown_string(self, context):
+        cnn, board = context
+        with pytest.raises(ValueError):
+            BatchEvaluator(cnn, board, jobs="turbo")
+
+    def test_single_cpu_never_forks(self, context, monkeypatch):
+        import repro.runtime.batch as batch_module
+
+        monkeypatch.setattr(batch_module.multiprocessing, "cpu_count", lambda: 1)
+        cnn, board = context
+        evaluator = BatchEvaluator(cnn, board)
+        assert evaluator._effective_jobs(10_000) == 1
+
+    def test_small_batches_never_fork(self, context, monkeypatch):
+        import repro.runtime.batch as batch_module
+
+        monkeypatch.setattr(batch_module.multiprocessing, "cpu_count", lambda: 8)
+        cnn, board = context
+        evaluator = BatchEvaluator(cnn, board)
+        assert evaluator._effective_jobs(0) == 1
+        assert evaluator._effective_jobs(batch_module.AUTO_FORK_MIN_MISSES - 1) == 1
+
+    def test_large_batches_fork_bounded_by_cpus(self, context, monkeypatch):
+        import repro.runtime.batch as batch_module
+
+        monkeypatch.setattr(batch_module.multiprocessing, "cpu_count", lambda: 4)
+        cnn, board = context
+        evaluator = BatchEvaluator(cnn, board)
+        jobs = evaluator._effective_jobs(10_000)
+        assert 2 <= jobs <= 4
+
+    def test_explicit_jobs_bypass_heuristic(self, context, monkeypatch):
+        import repro.runtime.batch as batch_module
+
+        monkeypatch.setattr(batch_module.multiprocessing, "cpu_count", lambda: 8)
+        cnn, board = context
+        evaluator = BatchEvaluator(cnn, board, jobs=2)
+        assert evaluator._effective_jobs(1) == 2
+
+    def test_auto_results_match_serial(self, context, specs):
+        cnn, board = context
+        serial = BatchEvaluator(cnn, board, jobs=1).evaluate_specs(specs)
+        with BatchEvaluator(cnn, board) as evaluator:
+            auto = evaluator.evaluate_specs(specs)
+        assert auto == serial
+        assert evaluator.last_run.jobs >= 1
