@@ -12,10 +12,15 @@ Quickstart::
 """
 
 from repro.api import (
+    CampaignResult,
+    CampaignSpec,
     SkippedConfig,
     SweepResult,
     build_accelerator,
+    campaign_status,
     evaluate,
+    resume_campaign,
+    run_campaign,
     sweep,
 )
 from repro.cnn.zoo import available_models, load_model
@@ -24,12 +29,17 @@ from repro.core.notation import ArchitectureSpec, parse_notation
 from repro.hw.boards import available_boards, get_board
 from repro.runtime import BatchEvaluator, RunStats
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "build_accelerator",
     "evaluate",
     "sweep",
+    "run_campaign",
+    "resume_campaign",
+    "campaign_status",
+    "CampaignSpec",
+    "CampaignResult",
     "SweepResult",
     "SkippedConfig",
     "BatchEvaluator",

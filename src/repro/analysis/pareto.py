@@ -3,11 +3,19 @@
 The figures plot one benefit metric (throughput) against one cost metric
 (off-chip accesses or buffers); the interesting designs sit on the
 bottom-right frontier: more throughput, less cost.
+
+Beyond membership tests, this module carries the front *quality* metrics
+the campaign engine reports: NSGA-II crowding distance (how evenly a front
+covers the trade-off curve) and the 2-D hypervolume indicator (how much
+benefit-cost area a front dominates — the standard scalar for comparing
+multi-objective search runs), plus a CSV export for downstream plotting.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Sequence, Tuple, TypeVar
+import csv
+import io
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.core.cost.results import CostReport
 
@@ -65,6 +73,135 @@ def scatter_points(
             cost = cost / 2**20  # report in MiB like the figures
         points.append((report.accelerator_name, report.throughput_fps, cost))
     return points
+
+
+def crowding_distance_vectors(vectors: Sequence[Sequence[float]]) -> List[float]:
+    """NSGA-II crowding distance over raw objective vectors (any axis count).
+
+    Boundary points along any axis get infinity; interior points the sum
+    of normalized neighbour gaps per axis. Larger means the point sits in
+    a sparser region and is more worth keeping. Ties sort by index, so the
+    result is deterministic. The single shared implementation behind both
+    :func:`crowding_distance` and the evolutionary selection in
+    :mod:`repro.dse.evolve`.
+    """
+    n = len(vectors)
+    if n <= 2:
+        return [float("inf")] * n
+    distances = [0.0] * n
+    for axis in range(len(vectors[0])):
+        values = [vector[axis] for vector in vectors]
+        ordered = sorted(range(n), key=lambda i: (values[i], i))
+        distances[ordered[0]] = float("inf")
+        distances[ordered[-1]] = float("inf")
+        span = values[ordered[-1]] - values[ordered[0]]
+        if span <= 0.0:
+            continue
+        for position in range(1, n - 1):
+            index = ordered[position]
+            if distances[index] == float("inf"):
+                continue
+            gap = values[ordered[position + 1]] - values[ordered[position - 1]]
+            distances[index] += gap / span
+    return distances
+
+
+def crowding_distance(
+    items: Sequence[T],
+    benefit: Callable[[T], float],
+    cost: Callable[[T], float],
+) -> List[float]:
+    """NSGA-II crowding distance of each item (aligned with ``items``)."""
+    return crowding_distance_vectors([(benefit(item), cost(item)) for item in items])
+
+
+def hypervolume(
+    items: Sequence[T],
+    benefit: Callable[[T], float],
+    cost: Callable[[T], float],
+    reference: Optional[Tuple[float, float]] = None,
+    *,
+    assume_front: bool = False,
+) -> float:
+    """2-D hypervolume: benefit-cost area dominated by the front of ``items``.
+
+    ``reference`` is a ``(benefit, cost)`` point every counted item must
+    dominate (at least its benefit, at most its cost); items that do not
+    dominate it contribute nothing. Defaults to ``(0, max cost)``, under
+    which the cheapest design anchors the area and the most expensive
+    front point contributes only through its benefit. Deterministic for a
+    fixed item set — the campaign engine uses it to compare search runs.
+
+    ``assume_front=True`` skips the O(n^2) dominance sweep for callers
+    whose items are already mutually non-dominated (e.g. a Pareto
+    archive); the staircase's skip rule ignores dominated points anyway,
+    so the flag only changes the cost, not the result.
+    """
+    if not items:
+        return 0.0
+    if assume_front:
+        front = sorted(items, key=cost)
+    else:
+        front = pareto_front(items, benefit, cost)
+    if reference is None:
+        reference = (0.0, max(cost(item) for item in front))
+    ref_benefit, ref_cost = reference
+    area = 0.0
+    previous_benefit = ref_benefit
+    # pareto_front sorts by ascending cost, so benefits ascend too; each
+    # point adds the rectangle between its benefit rise and the reference
+    # cost line.
+    for item in front:
+        b, c = benefit(item), cost(item)
+        if c > ref_cost or b <= previous_benefit:
+            continue
+        area += (ref_cost - c) * (b - previous_benefit)
+        previous_benefit = b
+    return area
+
+
+#: Columns of :func:`front_to_csv`, in order.
+FRONT_CSV_COLUMNS = [
+    "label",
+    "accelerator",
+    "model",
+    "board",
+    "notation",
+    "throughput_fps",
+    "cost",
+    "cost_metric",
+]
+
+
+def front_to_csv(
+    entries: Sequence[Tuple[str, CostReport]], cost_metric: str = "buffers"
+) -> str:
+    """A labelled Pareto front as CSV (byte-for-byte stable for equal fronts).
+
+    ``entries`` are ``(label, report)`` pairs — e.g. a campaign cell name
+    plus each front design's report. Byte-denominated cost metrics are
+    reported in MiB like the figures.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(FRONT_CSV_COLUMNS)
+    for label, report in entries:
+        value = report.metric(cost_metric)
+        if cost_metric in ("buffers", "buffer", "access", "accesses"):
+            value = value / 2**20
+        writer.writerow(
+            [
+                label,
+                report.accelerator_name,
+                report.model_name,
+                report.board_name,
+                report.notation,
+                repr(report.throughput_fps),
+                repr(value),
+                cost_metric,
+            ]
+        )
+    return buffer.getvalue()
 
 
 def dominates(

@@ -18,6 +18,16 @@ from typing import Iterable, List, Optional, Union
 
 from repro.cnn.graph import CNNGraph
 from repro.cnn.zoo import load_model
+# Campaign entry points are part of the public API surface: run_campaign /
+# resume_campaign / campaign_status accept a spec (object, dict, or JSON
+# path) plus a checkpoint path, and return a CampaignResult. See docs/dse.md.
+from repro.dse.campaign import (  # noqa: F401  (re-exported)
+    CampaignResult,
+    CampaignSpec,
+    campaign_status,
+    resume_campaign,
+    run_campaign,
+)
 from repro.core.architectures import (
     PAPER_ARCHITECTURES,
     PAPER_CE_COUNTS,

@@ -5,7 +5,10 @@ Subcommands mirror the library's use cases:
 * ``evaluate`` — one accelerator, all four metrics (optionally JSON).
 * ``sweep`` — the paper's architecture x CE-count grid: table, CSV, or JSON.
 * ``validate`` — model vs reference-simulator accuracy (Eq. 10).
-* ``dse`` — sample the custom design space and print the Pareto front.
+* ``dse`` — search the custom design space (random / guided / evolve
+  strategies) and print the Pareto front.
+* ``campaign`` — ``run`` / ``resume`` / ``status`` of checkpointed,
+  resumable multi-objective DSE campaigns (``docs/dse.md``).
 * ``serve`` — the concurrent HTTP evaluation service (``docs/api.md``).
 * ``bench`` — time the evaluation hot path: cold vs segment-cached vs
   fingerprint-cached (``docs/performance.md``).
@@ -31,7 +34,19 @@ from repro.cnn.stats import collect_stats, stats_table
 from repro.cnn.zoo import available_models, load_model
 from repro.core.cost.export import report_to_json, reports_to_csv
 from repro.core.cost.model import default_model
-from repro.dse import CustomDesignSpace, DesignEvaluator, random_search
+from repro.dse import (
+    CustomDesignSpace,
+    DesignEvaluator,
+    EvolutionConfig,
+    STRATEGY_NAMES,
+    make_strategy,
+)
+from repro.dse.campaign import (
+    CampaignSpec,
+    campaign_status,
+    resume_campaign,
+    run_campaign,
+)
 from repro.hw.boards import BOARDS, available_boards
 from repro.synth.simulator import SynthesisSimulator
 from repro.synth.validate import ValidationRecord
@@ -53,6 +68,14 @@ def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _population_int(text: str) -> int:
+    """``--population`` parser: NSGA-II needs at least two individuals."""
+    value = int(text)
+    if value < 2:
+        raise argparse.ArgumentTypeError(f"must be >= 2, got {value}")
     return value
 
 
@@ -151,21 +174,37 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     graph = resolve_model(args.model)
     board = resolve_board(args.board)
     space = CustomDesignSpace(graph.conv_specs())
-    with DesignEvaluator(graph, board, jobs=args.jobs, cache_dir=args.cache) as evaluator:
-        result = random_search(
-            evaluator, space, samples=args.samples, seed=args.seed, cost_metric=args.cost
+    strategy = make_strategy(
+        args.strategy,
+        samples=args.samples,
+        cost_metric=args.cost,
+        evolution=EvolutionConfig(
+            population=args.population,
+            generations=args.generations,
+            cost_metric=args.cost,
         )
+        if args.strategy == "evolve"
+        else None,
+    )
+    with DesignEvaluator(graph, board, jobs=args.jobs, cache_dir=args.cache) as evaluator:
+        result = strategy.search(evaluator, space, seed=args.seed)
     if args.json:
         payload = result.to_dict()
         payload.update(
             {
                 "model": args.model,
                 "board": args.board,
-                "samples": args.samples,
+                "strategy": args.strategy,
                 "seed": args.seed,
                 "space_size": space.size(),
             }
         )
+        # Only the knobs that actually shaped this search's budget.
+        if args.strategy == "evolve":
+            payload["population"] = args.population
+            payload["generations"] = args.generations
+        else:
+            payload["samples"] = args.samples
         print(json.dumps(payload, indent=2))
         return 0
     print(
@@ -173,12 +212,89 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         f"at {result.stats.ms_per_design:.1f} ms/design "
         f"({result.stats.cache_hits} cache hits, {result.stats.jobs} job(s))"
     )
-    front = report_front([report for _d, report in result.evaluated], args.cost)
+    # Evolution revisits designs across generations; collapse duplicates
+    # before the front so each design prints once.
+    unique = {}
+    for _design, report in result.evaluated:
+        unique.setdefault(report.notation, report)
+    front = report_front(list(unique.values()), args.cost)
     for report in front:
         print(
             f"{report.accelerator_name:<22}{report.throughput_fps:>8.1f} FPS  "
             f"{report.metric(args.cost) / 2**20:>8.2f} MiB  {report.notation}"
         )
+    return 0
+
+
+def _print_campaign(result, verbose_front: bool = True) -> None:
+    """Human-readable campaign standing (run/resume/status share it)."""
+    spec = result.spec
+    state = "done" if result.done else "in progress"
+    print(
+        f"campaign {spec.name!r}: {state} "
+        f"(strategy {spec.strategy}, seed {spec.seed}, "
+        f"{result.total_evaluations} evaluations)"
+    )
+    for cell in result.cells:
+        progress = (
+            f"gen {cell.generation}/{spec.generations}"
+            if spec.strategy == "evolve"
+            else cell.status
+        )
+        print(
+            f"  {cell.cell.label:<24}{cell.status:<9}{progress:<12}"
+            f"{cell.evaluations:>6} evals  archive {len(cell.front):>3}  "
+            f"hypervolume {cell.hypervolume:.3e}"
+        )
+    if not verbose_front:
+        return
+    for cell in result.cells:
+        if not cell.front:
+            continue
+        print(f"\n{cell.cell.label} Pareto front ({spec.cost_metric}):")
+        for _design, report in cell.front:
+            print(
+                f"  {report.accelerator_name:<22}{report.throughput_fps:>8.1f} FPS  "
+                f"{report.metric(spec.cost_metric) / 2**20:>8.2f} MiB  {report.notation}"
+            )
+
+
+def _finish_campaign(result, args: argparse.Namespace) -> int:
+    if args.front_csv:
+        try:
+            with open(args.front_csv, "w", encoding="utf-8") as handle:
+                handle.write(result.front_csv())
+        except OSError as error:
+            raise MCCMError(
+                f"cannot write front CSV {args.front_csv}: {error}"
+            ) from None
+        print(f"[campaign] front written to {args.front_csv}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        _print_campaign(result)
+    return 0
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    spec = CampaignSpec.from_json(args.spec)
+    result = run_campaign(
+        spec, args.checkpoint, jobs=args.jobs, cache_dir=args.cache
+    )
+    return _finish_campaign(result, args)
+
+
+def _cmd_campaign_resume(args: argparse.Namespace) -> int:
+    result = resume_campaign(args.checkpoint, jobs=args.jobs, cache_dir=args.cache)
+    return _finish_campaign(result, args)
+
+
+def _cmd_campaign_status(args: argparse.Namespace) -> int:
+    result = campaign_status(args.checkpoint)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+    else:
+        _print_campaign(result, verbose_front=False)
     return 0
 
 
@@ -280,8 +396,69 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the full JSON dump (Pareto front + stats)",
     )
+    cmd.add_argument(
+        "--strategy",
+        default="random",
+        choices=list(STRATEGY_NAMES),
+        help="search strategy (default: random, the Fig. 10 experiment)",
+    )
+    cmd.add_argument(
+        "--population",
+        type=_population_int,
+        default=32,
+        help="evolve strategy: population per generation (>= 2)",
+    )
+    cmd.add_argument(
+        "--generations",
+        type=_nonnegative_int,
+        default=10,
+        help="evolve strategy: generations after the initial sample",
+    )
     _add_runtime(cmd, default_jobs="auto")
     cmd.set_defaults(func=_cmd_dse)
+
+    cmd = commands.add_parser(
+        "campaign",
+        help="resumable multi-objective DSE campaigns (see docs/dse.md)",
+    )
+    campaign_commands = cmd.add_subparsers(dest="campaign_command", required=True)
+
+    sub = campaign_commands.add_parser(
+        "run", help="start a campaign from a JSON spec (checkpointing as it goes)"
+    )
+    sub.add_argument("--spec", required=True, help="campaign spec JSON file")
+    sub.add_argument(
+        "--checkpoint",
+        default=None,
+        help="checkpoint JSON path (resumable after a crash/kill); "
+        "refuses to overwrite an existing checkpoint",
+    )
+    sub.add_argument(
+        "--front-csv", metavar="FILE", default=None,
+        help="also export the final Pareto fronts as CSV",
+    )
+    sub.add_argument("--json", action="store_true", help="emit the full JSON result")
+    _add_runtime(sub, default_jobs="auto")
+    sub.set_defaults(func=_cmd_campaign_run)
+
+    sub = campaign_commands.add_parser(
+        "resume", help="finish a killed/interrupted campaign from its checkpoint"
+    )
+    sub.add_argument("--checkpoint", required=True, help="checkpoint JSON path")
+    sub.add_argument(
+        "--front-csv", metavar="FILE", default=None,
+        help="also export the final Pareto fronts as CSV",
+    )
+    sub.add_argument("--json", action="store_true", help="emit the full JSON result")
+    _add_runtime(sub, default_jobs="auto")
+    sub.set_defaults(func=_cmd_campaign_resume)
+
+    sub = campaign_commands.add_parser(
+        "status", help="inspect a checkpoint without evaluating anything"
+    )
+    sub.add_argument("--checkpoint", required=True, help="checkpoint JSON path")
+    sub.add_argument("--json", action="store_true", help="emit the full JSON status")
+    sub.set_defaults(func=_cmd_campaign_status)
 
     cmd = commands.add_parser(
         "bench", help="time the evaluation hot path (cold vs cached)"

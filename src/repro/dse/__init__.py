@@ -1,8 +1,31 @@
 """Design-space exploration of custom multiple-CE accelerators (Use case 3)."""
 
+from repro.dse.campaign import (
+    Campaign,
+    CampaignCell,
+    CampaignError,
+    CampaignResult,
+    CampaignSpec,
+    ParetoArchive,
+    campaign_status,
+    resume_campaign,
+    run_campaign,
+)
+from repro.dse.evolve import EvolutionConfig, EvolutionEngine
 from repro.dse.objectives import Objective, matches_throughput, throughput_at_most_cost
 from repro.dse.sampler import DesignEvaluator, SampleStats, sample_space
-from repro.dse.search import SearchResult, guided_search, local_search, random_search
+from repro.dse.search import (
+    EvolutionStrategy,
+    GuidedStrategy,
+    RandomStrategy,
+    STRATEGY_NAMES,
+    SearchResult,
+    Strategy,
+    guided_search,
+    local_search,
+    make_strategy,
+    random_search,
+)
 from repro.dse.space import CustomDesign, CustomDesignSpace
 
 __all__ = [
@@ -13,9 +36,26 @@ __all__ = [
     "SampleStats",
     "sample_space",
     "SearchResult",
+    "Strategy",
+    "STRATEGY_NAMES",
+    "RandomStrategy",
+    "GuidedStrategy",
+    "EvolutionStrategy",
+    "make_strategy",
     "guided_search",
     "local_search",
     "random_search",
+    "EvolutionConfig",
+    "EvolutionEngine",
+    "Campaign",
+    "CampaignCell",
+    "CampaignError",
+    "CampaignResult",
+    "CampaignSpec",
+    "ParetoArchive",
+    "run_campaign",
+    "resume_campaign",
+    "campaign_status",
     "CustomDesign",
     "CustomDesignSpace",
 ]

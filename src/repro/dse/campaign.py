@@ -1,0 +1,892 @@
+"""Checkpointed, resumable multi-objective DSE campaigns.
+
+A *campaign* is a declarative grid of (model, board, precision,
+architecture-space) **cells**, each searched with one of the pluggable
+:mod:`~repro.dse.search` strategies — by default the NSGA-II evolution of
+:mod:`~repro.dse.evolve` — while a persistent per-cell **Pareto archive**
+accumulates every non-dominated design seen. Campaigns are built for
+long-running, crash-prone environments:
+
+* after every evaluation round (the initial sample or one generation) the
+  engine atomically rewrites a JSON **checkpoint** holding the spec, the
+  ``random.Random`` state, the scored population, and the archive (via the
+  lossless :func:`~repro.core.cost.export.report_to_dict` round-trip);
+* a killed campaign resumes from its checkpoint and replays the
+  interrupted round from the saved RNG state, so the final front is
+  **bit-identical** to an uninterrupted run with the same seed — the CI
+  pipeline SIGKILLs a live campaign and asserts exactly that;
+* evaluation runs through one :class:`~repro.dse.sampler.DesignEvaluator`
+  per cell, so fingerprint and segment caches stay warm across
+  generations, and ``jobs``/``cache_dir`` thread straight through to the
+  batch runtime.
+
+Front-ends: :func:`repro.api.run_campaign`, the ``repro campaign
+run/resume/status`` CLI, and the service's ``POST /campaign`` +
+``GET /campaign/<id>``. See ``docs/dse.md`` for the spec and checkpoint
+formats.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.analysis.pareto import dominates, front_to_csv, hypervolume, pareto_front
+from repro.cnn.zoo import available_models
+from repro.core.cost.export import report_from_dict, report_to_dict
+from repro.core.cost.results import CostReport
+from repro.dse.evolve import (
+    EvolutionConfig,
+    EvolutionEngine,
+    ScoredDesign,
+    design_key,
+)
+from repro.dse.sampler import DesignEvaluator
+from repro.dse.search import (
+    LOCAL_SEARCH_ITERATIONS,
+    LOCAL_SEARCH_NEIGHBOURS,
+    STRATEGY_NAMES,
+    make_strategy,
+)
+from repro.dse.space import CustomDesign, CustomDesignSpace
+from repro.hw.boards import available_boards
+from repro.hw.datatypes import (
+    DEFAULT_PRECISION,
+    Precision,
+    precision_from_names,
+    precision_to_dict,
+)
+from repro.utils.errors import MCCMError, reject_unknown_fields
+
+#: Checkpoint schema version; bumped when the on-disk layout changes.
+CHECKPOINT_VERSION = 1
+
+#: Cell lifecycle states as stored in the checkpoint.
+CELL_PENDING, CELL_RUNNING, CELL_DONE = "pending", "running", "done"
+
+
+class CampaignError(MCCMError):
+    """A campaign spec or checkpoint problem (bad file, spec drift, ...)."""
+
+
+# --- JSON plumbing ------------------------------------------------------------
+
+
+def _atomic_write_json(path: Path, payload: Dict[str, Any]) -> None:
+    """Write-then-rename so a SIGKILL mid-write never corrupts a checkpoint."""
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except OSError as error:
+        # An unwritable checkpoint path is a user-input problem; keep it
+        # inside the library's error hierarchy (the CLI exits 2 cleanly).
+        raise CampaignError(f"cannot write checkpoint {path}: {error}") from None
+
+
+def _rng_state_to_json(state: tuple) -> list:
+    """``random.Random.getstate()`` -> JSON-safe form (and back below)."""
+    version, internal, gauss_next = state
+    return [version, list(internal), gauss_next]
+
+
+def _rng_state_from_json(data: Sequence[Any]) -> tuple:
+    version, internal, gauss_next = data
+    return (version, tuple(internal), gauss_next)
+
+
+def _precision_from_dict(data: Optional[Mapping[str, str]]) -> Precision:
+    """The shared wire codec (:mod:`repro.hw.datatypes`), with campaign errors."""
+    if data is None:
+        return DEFAULT_PRECISION
+    if not isinstance(data, Mapping):
+        raise CampaignError("cell precision must be an object of datatype names")
+    _reject_unknown(data, ("weights", "activations"), "cell precision")
+    try:
+        return precision_from_names(data)
+    except ValueError as error:
+        raise CampaignError(str(error)) from None
+
+
+def _reject_unknown(data: Mapping[str, Any], allowed: Sequence[str], where: str) -> None:
+    reject_unknown_fields(data, allowed, where, CampaignError)
+
+
+# --- the declarative spec -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One grid cell: an evaluation context plus its architecture space."""
+
+    model: str
+    board: str
+    precision: Precision = DEFAULT_PRECISION
+    #: CE counts of the custom space; ``None`` = the paper's 2..11.
+    ce_counts: Optional[Tuple[int, ...]] = None
+    max_pipelined: Optional[int] = None
+
+    @property
+    def label(self) -> str:
+        return f"{self.model}/{self.board}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "model": self.model,
+            "board": self.board,
+            "precision": precision_to_dict(self.precision),
+            "ce_counts": list(self.ce_counts) if self.ce_counts is not None else None,
+            "max_pipelined": self.max_pipelined,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignCell":
+        _reject_unknown(
+            data,
+            ("model", "board", "precision", "ce_counts", "max_pipelined"),
+            "campaign cell",
+        )
+        for key in ("model", "board"):
+            if not isinstance(data.get(key), str) or not data[key].strip():
+                raise CampaignError(f"campaign cell needs a non-empty {key!r} name")
+        model = data["model"].strip().lower()
+        board = data["board"].strip().lower()
+        if model not in available_models():
+            raise CampaignError(
+                f"unknown model {model!r}; available: {available_models()}"
+            )
+        if board not in available_boards():
+            raise CampaignError(
+                f"unknown board {board!r}; available: {available_boards()}"
+            )
+        ce_counts = data.get("ce_counts")
+        if ce_counts is not None:
+            if (
+                not isinstance(ce_counts, (list, tuple))
+                or not ce_counts
+                or not all(
+                    isinstance(count, int) and not isinstance(count, bool) and count >= 2
+                    for count in ce_counts
+                )
+            ):
+                raise CampaignError("cell ce_counts must be a list of integers >= 2")
+            ce_counts = tuple(ce_counts)
+        max_pipelined = data.get("max_pipelined")
+        if max_pipelined is not None and (
+            not isinstance(max_pipelined, int) or max_pipelined < 0
+        ):
+            raise CampaignError("cell max_pipelined must be a non-negative integer")
+        return cls(
+            model=model,
+            board=board,
+            precision=_precision_from_dict(data.get("precision")),
+            ce_counts=ce_counts,
+            max_pipelined=max_pipelined,
+        )
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """The declarative description of a whole campaign (JSON-stable)."""
+
+    cells: Tuple[CampaignCell, ...]
+    name: str = "campaign"
+    strategy: str = "evolve"
+    seed: int = 0
+    cost_metric: str = "buffers"
+    # evolve strategy knobs
+    population: int = 32
+    generations: int = 10
+    crossover_rate: float = 0.9
+    mutation_rate: float = 0.9
+    # random/guided strategy knobs
+    samples: int = 500
+    refine_top: int = 5
+
+    def __post_init__(self) -> None:
+        if not self.cells:
+            raise CampaignError("campaign needs at least one cell")
+        if self.strategy not in STRATEGY_NAMES:
+            raise CampaignError(
+                f"unknown strategy {self.strategy!r}; expected one of {STRATEGY_NAMES}"
+            )
+        if self.cost_metric not in ("buffers", "access"):
+            raise CampaignError(
+                f"cost_metric must be 'buffers' or 'access', got {self.cost_metric!r}"
+            )
+        # Let EvolutionConfig validate its own knobs eagerly.
+        self.evolution_config()
+
+    def evolution_config(self) -> EvolutionConfig:
+        return EvolutionConfig(
+            population=self.population,
+            generations=self.generations,
+            crossover_rate=self.crossover_rate,
+            mutation_rate=self.mutation_rate,
+            cost_metric=self.cost_metric,
+        )
+
+    def cell_seed(self, index: int) -> int:
+        """Deterministic per-cell seed (cells are independent searches)."""
+        return self.seed + index
+
+    def budget(self) -> int:
+        """Upper-bound evaluation count (used by the service's request cap)."""
+        if self.strategy == "evolve":
+            per_cell = self.population * (self.generations + 1)
+        elif self.strategy == "guided":
+            # samples plus the hill-climbing worst case of guided_search.
+            per_cell = self.samples + (
+                self.refine_top * LOCAL_SEARCH_ITERATIONS * LOCAL_SEARCH_NEIGHBOURS
+            )
+        else:
+            per_cell = self.samples
+        return per_cell * len(self.cells)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "cost_metric": self.cost_metric,
+            "population": self.population,
+            "generations": self.generations,
+            "crossover_rate": self.crossover_rate,
+            "mutation_rate": self.mutation_rate,
+            "samples": self.samples,
+            "refine_top": self.refine_top,
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        if not isinstance(data, Mapping):
+            raise CampaignError(
+                f"campaign spec must be a JSON object, got {type(data).__name__}"
+            )
+        _reject_unknown(
+            data,
+            (
+                "name",
+                "strategy",
+                "seed",
+                "cost_metric",
+                "population",
+                "generations",
+                "crossover_rate",
+                "mutation_rate",
+                "samples",
+                "refine_top",
+                "cells",
+            ),
+            "campaign spec",
+        )
+        cells = data.get("cells")
+        if not isinstance(cells, (list, tuple)) or not cells:
+            raise CampaignError("campaign spec needs a non-empty 'cells' list")
+        for key in ("seed", "population", "generations", "samples", "refine_top"):
+            if key in data and (
+                isinstance(data[key], bool) or not isinstance(data[key], int)
+            ):
+                raise CampaignError(f"campaign field {key!r} must be an integer")
+        try:
+            return cls(
+                cells=tuple(CampaignCell.from_dict(cell) for cell in cells),
+                name=str(data.get("name", "campaign")),
+                strategy=str(data.get("strategy", "evolve")).strip().lower(),
+                seed=data.get("seed", 0),
+                cost_metric=str(data.get("cost_metric", "buffers")),
+                population=data.get("population", 32),
+                generations=data.get("generations", 10),
+                crossover_rate=data.get("crossover_rate", 0.9),
+                mutation_rate=data.get("mutation_rate", 0.9),
+                samples=data.get("samples", 500),
+                refine_top=data.get("refine_top", 5),
+            )
+        except (TypeError, ValueError) as error:
+            raise CampaignError(f"bad campaign spec: {error}") from None
+
+    @classmethod
+    def from_json(cls, path: Union[str, Path]) -> "CampaignSpec":
+        """Load a spec file (``repro campaign run --spec campaign.json``)."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except OSError as error:
+            raise CampaignError(f"cannot read campaign spec {path}: {error}") from None
+        except json.JSONDecodeError as error:
+            raise CampaignError(f"campaign spec {path} is not valid JSON: {error}") from None
+        return cls.from_dict(data)
+
+    def fingerprint(self) -> str:
+        """Stable digest guarding resumes against a drifted spec file."""
+        canonical = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+# --- the persistent archive ---------------------------------------------------
+
+
+class ParetoArchive:
+    """Every non-dominated (design, report) pair one cell has seen.
+
+    Updates are order-deterministic: a candidate enters unless an archived
+    entry dominates it (or it is the same design), and evicts the entries
+    it dominates. The exported front is canonically sorted, so two
+    campaigns that saw the same designs — in however many sessions —
+    export byte-identical fronts.
+    """
+
+    def __init__(
+        self, cost_metric: str = "buffers", entries: Sequence[ScoredDesign] = ()
+    ) -> None:
+        self.cost_metric = cost_metric
+        self._entries: List[ScoredDesign] = []
+        self._keys: set = set()
+        for design, report in entries:
+            self.add(design, report)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, design: CustomDesign, report: CostReport) -> bool:
+        """Offer one pair; returns whether it entered the archive."""
+        key = design_key(design)
+        if key in self._keys:
+            return False
+        survivors: List[ScoredDesign] = []
+        evicted: List = []
+        for other_design, other_report in self._entries:
+            if dominates(other_report, report, self.cost_metric):
+                return False  # dominated by an archived entry
+            if dominates(report, other_report, self.cost_metric):
+                evicted.append(design_key(other_design))
+                continue  # the candidate evicts this entry
+            survivors.append((other_design, other_report))
+        survivors.append((design, report))
+        self._entries = survivors
+        self._keys.difference_update(evicted)
+        self._keys.add(key)
+        return True
+
+    def update(self, pairs: Sequence[ScoredDesign]) -> int:
+        """Offer many pairs in order; returns how many entered."""
+        return sum(1 for design, report in pairs if self.add(design, report))
+
+    def front(self) -> List[ScoredDesign]:
+        """The archive in canonical order: ascending cost, then throughput,
+        then notation (full determinism even under objective ties)."""
+        return sorted(
+            self._entries,
+            key=lambda pair: (
+                pair[1].metric(self.cost_metric),
+                -pair[1].throughput_fps,
+                pair[1].notation,
+                design_key(pair[0]),
+            ),
+        )
+
+    def hypervolume(self) -> float:
+        """2-D hypervolume of the archive front (see :mod:`repro.analysis.pareto`).
+
+        Archive entries are mutually non-dominated by construction, so the
+        O(n^2) front sweep is skipped — this runs on every status poll.
+        """
+        return hypervolume(
+            self._entries,
+            benefit=lambda pair: pair[1].throughput_fps,
+            cost=lambda pair: pair[1].metric(self.cost_metric),
+            assume_front=True,
+        )
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [
+            {"design": design.to_dict(), "report": report_to_dict(report)}
+            for design, report in self.front()
+        ]
+
+    @classmethod
+    def from_dicts(
+        cls, data: Sequence[Mapping[str, Any]], cost_metric: str
+    ) -> "ParetoArchive":
+        return cls(
+            cost_metric,
+            entries=[
+                (
+                    CustomDesign.from_dict(entry["design"]),
+                    report_from_dict(entry["report"]),
+                )
+                for entry in data
+            ],
+        )
+
+
+# --- per-cell progress (the checkpointable unit) ------------------------------
+
+
+@dataclass
+class CellProgress:
+    """Everything the checkpoint stores about one cell."""
+
+    status: str = CELL_PENDING
+    #: Whether the initial sample round has completed.
+    initialized: bool = False
+    #: Completed evolution generations (stays 0 for one-shot strategies).
+    generation: int = 0
+    rng_state: Optional[tuple] = None
+    population: List[ScoredDesign] = field(default_factory=list)
+    archive: Optional[ParetoArchive] = None
+    evaluations: int = 0
+    infeasible: int = 0
+    elapsed_seconds: float = 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "status": self.status,
+            "initialized": self.initialized,
+            "generation": self.generation,
+            "rng_state": (
+                _rng_state_to_json(self.rng_state) if self.rng_state is not None else None
+            ),
+            "population": [
+                {"design": design.to_dict(), "report": report_to_dict(report)}
+                for design, report in self.population
+            ],
+            "archive": self.archive.to_dicts() if self.archive is not None else [],
+            "evaluations": self.evaluations,
+            "infeasible": self.infeasible,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any], cost_metric: str) -> "CellProgress":
+        return cls(
+            status=data["status"],
+            initialized=data["initialized"],
+            generation=data["generation"],
+            rng_state=(
+                _rng_state_from_json(data["rng_state"])
+                if data.get("rng_state") is not None
+                else None
+            ),
+            population=[
+                (
+                    CustomDesign.from_dict(entry["design"]),
+                    report_from_dict(entry["report"]),
+                )
+                for entry in data["population"]
+            ],
+            archive=ParetoArchive.from_dicts(data["archive"], cost_metric),
+            evaluations=data["evaluations"],
+            infeasible=data["infeasible"],
+            elapsed_seconds=data["elapsed_seconds"],
+        )
+
+
+# --- results ------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """One cell's final (or current) standing."""
+
+    cell: CampaignCell
+    status: str
+    generation: int
+    evaluations: int
+    infeasible: int
+    elapsed_seconds: float
+    front: Sequence[ScoredDesign]
+    hypervolume: float
+
+    def to_dict(self, include_front: bool = True) -> Dict[str, Any]:
+        payload = {
+            "model": self.cell.model,
+            "board": self.cell.board,
+            "precision": precision_to_dict(self.cell.precision),
+            "status": self.status,
+            "generation": self.generation,
+            "evaluations": self.evaluations,
+            "infeasible": self.infeasible,
+            "elapsed_seconds": self.elapsed_seconds,
+            "archive_size": len(self.front),
+            "hypervolume": self.hypervolume,
+        }
+        if include_front:
+            payload["front"] = [
+                {"design": design.to_dict(), "report": report_to_dict(report)}
+                for design, report in self.front
+            ]
+        return payload
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """The outcome (or live snapshot) of a campaign across all cells."""
+
+    spec: CampaignSpec
+    cells: Tuple[CellResult, ...]
+
+    @property
+    def done(self) -> bool:
+        return all(cell.status == CELL_DONE for cell in self.cells)
+
+    @property
+    def total_evaluations(self) -> int:
+        return sum(cell.evaluations for cell in self.cells)
+
+    def to_dict(self, include_fronts: bool = True) -> Dict[str, Any]:
+        return {
+            "name": self.spec.name,
+            "strategy": self.spec.strategy,
+            "seed": self.spec.seed,
+            "cost_metric": self.spec.cost_metric,
+            "done": self.done,
+            "total_evaluations": self.total_evaluations,
+            "cells": [cell.to_dict(include_front=include_fronts) for cell in self.cells],
+        }
+
+    def front_csv(self) -> str:
+        """Every cell's front as one CSV (the CI artifact format)."""
+        entries = [
+            (cell.cell.label, report)
+            for cell in self.cells
+            for _design, report in cell.front
+        ]
+        return front_to_csv(entries, self.spec.cost_metric)
+
+    def combined_front(self) -> List[ScoredDesign]:
+        """Non-dominated set across cells sharing the whole campaign's
+        objective space (meaningful when cells share a model)."""
+        pairs = [pair for cell in self.cells for pair in cell.front]
+        return pareto_front(
+            pairs,
+            benefit=lambda pair: pair[1].throughput_fps,
+            cost=lambda pair: pair[1].metric(self.spec.cost_metric),
+        )
+
+
+# --- the engine ---------------------------------------------------------------
+
+
+class Campaign:
+    """A runnable (and resumable) campaign bound to an optional checkpoint.
+
+    Construct fresh with a spec, or :meth:`load` from a checkpoint file.
+    :meth:`run` executes pending cells round by round, checkpointing after
+    every round; killing the process at any point loses at most the round
+    in flight, and a subsequent :meth:`load` + :meth:`run` replays that
+    round bit-identically from the stored RNG state.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        *,
+        jobs: Union[int, str] = "auto",
+        cache_dir: Optional[Union[str, Path]] = None,
+    ) -> None:
+        self.spec = spec
+        self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
+        self.jobs = jobs
+        self.cache_dir = cache_dir
+        self.cells: List[CellProgress] = [
+            CellProgress(archive=ParetoArchive(spec.cost_metric)) for _ in spec.cells
+        ]
+        self._lock = threading.Lock()
+
+    # --- persistence ---------------------------------------------------------
+    @classmethod
+    def load(
+        cls,
+        checkpoint_path: Union[str, Path],
+        *,
+        spec: Optional[CampaignSpec] = None,
+        jobs: Union[int, str] = "auto",
+        cache_dir: Optional[Union[str, Path]] = None,
+    ) -> "Campaign":
+        """Rebuild a campaign from its checkpoint (the resume path).
+
+        When ``spec`` is given it must match the checkpointed spec's
+        fingerprint — resuming a campaign under a silently edited spec
+        would make the "bit-identical to uninterrupted" guarantee a lie.
+        """
+        path = Path(checkpoint_path)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except OSError as error:
+            raise CampaignError(f"cannot read checkpoint {path}: {error}") from None
+        except json.JSONDecodeError as error:
+            raise CampaignError(
+                f"checkpoint {path} is not valid JSON ({error}); "
+                "was the campaign killed mid-write without the atomic rename?"
+            ) from None
+        if data.get("version") != CHECKPOINT_VERSION:
+            raise CampaignError(
+                f"checkpoint {path} has version {data.get('version')!r}, "
+                f"this build reads {CHECKPOINT_VERSION}"
+            )
+        stored_spec = CampaignSpec.from_dict(data["spec"])
+        if data.get("fingerprint") != stored_spec.fingerprint():
+            raise CampaignError(f"checkpoint {path} fingerprint mismatch (corrupt?)")
+        if spec is not None and spec.fingerprint() != stored_spec.fingerprint():
+            raise CampaignError(
+                "the given spec does not match the checkpointed campaign; "
+                "start a fresh checkpoint for a changed spec"
+            )
+        campaign = cls(stored_spec, path, jobs=jobs, cache_dir=cache_dir)
+        stored_cells = data.get("cells")
+        if not isinstance(stored_cells, list) or len(stored_cells) != len(
+            stored_spec.cells
+        ):
+            raise CampaignError(f"checkpoint {path} cell count mismatch")
+        try:
+            campaign.cells = [
+                CellProgress.from_dict(cell, stored_spec.cost_metric)
+                for cell in stored_cells
+            ]
+        except (KeyError, TypeError, ValueError) as error:
+            # The fingerprint only covers the spec, so a hand-edited or
+            # damaged cells section must still fail as a checkpoint error.
+            raise CampaignError(
+                f"checkpoint {path} has a malformed cells section "
+                f"({type(error).__name__}: {error})"
+            ) from None
+        return campaign
+
+    def checkpoint_dict(self) -> Dict[str, Any]:
+        return {
+            "version": CHECKPOINT_VERSION,
+            "fingerprint": self.spec.fingerprint(),
+            "spec": self.spec.to_dict(),
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+    def save(self) -> None:
+        """Atomically persist the current state (no-op without a path)."""
+        if self.checkpoint_path is not None:
+            _atomic_write_json(self.checkpoint_path, self.checkpoint_dict())
+
+    # --- interrogation -------------------------------------------------------
+    def result(self) -> CampaignResult:
+        """The campaign's current standing (thread-safe snapshot)."""
+        with self._lock:
+            cells = tuple(
+                CellResult(
+                    cell=cell,
+                    status=progress.status,
+                    generation=progress.generation,
+                    evaluations=progress.evaluations,
+                    infeasible=progress.infeasible,
+                    elapsed_seconds=progress.elapsed_seconds,
+                    front=tuple(progress.archive.front()),
+                    hypervolume=progress.archive.hypervolume(),
+                )
+                for cell, progress in zip(self.spec.cells, self.cells)
+            )
+        return CampaignResult(spec=self.spec, cells=cells)
+
+    @property
+    def done(self) -> bool:
+        with self._lock:
+            return all(cell.status == CELL_DONE for cell in self.cells)
+
+    # --- execution -----------------------------------------------------------
+    def run(self, max_rounds: Optional[int] = None) -> CampaignResult:
+        """Run every pending cell to completion (or ``max_rounds`` rounds).
+
+        A *round* is one evaluation batch: a cell's initial sample, one
+        evolution generation, or (for one-shot strategies) the whole cell.
+        ``max_rounds`` exists for tests and cooperative interruption — the
+        checkpoint left behind is exactly what a SIGKILL at the same point
+        would leave.
+        """
+        rounds = 0
+        self.save()  # an immediately-killable campaign is already resumable
+        for index, cell in enumerate(self.spec.cells):
+            progress = self.cells[index]
+            if progress.status == CELL_DONE:
+                continue
+            if max_rounds is not None and rounds >= max_rounds:
+                break
+            space_kwargs: Dict[str, Any] = {}
+            if cell.ce_counts is not None:
+                space_kwargs["ce_counts"] = cell.ce_counts
+            if cell.max_pipelined is not None:
+                space_kwargs["max_pipelined"] = cell.max_pipelined
+            from repro.api import resolve_board, resolve_model
+
+            graph = resolve_model(cell.model)
+            board = resolve_board(cell.board)
+            space = CustomDesignSpace(graph.conv_specs(), **space_kwargs)
+            with DesignEvaluator(
+                graph,
+                board,
+                cell.precision,
+                jobs=self.jobs,
+                cache_dir=self.cache_dir,
+            ) as evaluator:
+                if self.spec.strategy == "evolve":
+                    rounds = self._run_evolve_cell(
+                        index, evaluator, space, rounds, max_rounds
+                    )
+                else:
+                    rounds = self._run_oneshot_cell(index, evaluator, space, rounds)
+        return self.result()
+
+    def _run_evolve_cell(
+        self,
+        index: int,
+        evaluator: DesignEvaluator,
+        space: CustomDesignSpace,
+        rounds: int,
+        max_rounds: Optional[int],
+    ) -> int:
+        progress = self.cells[index]
+        config = self.spec.evolution_config()
+        seed = self.spec.cell_seed(index)
+        rng = random.Random(seed)
+        engine = EvolutionEngine(space, config, evaluator.evaluate_batch, rng)
+        if progress.initialized:
+            # Resume: restore the three state values and replay from the
+            # exact point the last completed round checkpointed.
+            rng.setstate(progress.rng_state)
+            engine.restore(progress.population, progress.generation)
+        while True:
+            if max_rounds is not None and rounds >= max_rounds:
+                return rounds
+            start = time.perf_counter()
+            if not progress.initialized:
+                evaluated = engine.initialize(seed)
+                with self._lock:
+                    progress.status = CELL_RUNNING
+                    progress.initialized = True
+            elif progress.generation < config.generations:
+                evaluated = engine.step()
+            else:
+                with self._lock:
+                    progress.status = CELL_DONE
+                    progress.rng_state = rng.getstate()
+                self.save()
+                return rounds
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                progress.archive.update(evaluated)
+                progress.population = list(engine.population)
+                progress.generation = engine.generation
+                progress.rng_state = rng.getstate()
+                progress.evaluations += engine.last_submitted
+                progress.infeasible += engine.last_submitted - len(evaluated)
+                progress.elapsed_seconds += elapsed
+            rounds += 1
+            self.save()
+
+    def _run_oneshot_cell(
+        self,
+        index: int,
+        evaluator: DesignEvaluator,
+        space: CustomDesignSpace,
+        rounds: int,
+    ) -> int:
+        """Random/guided strategies run a cell in one (unresumable) round."""
+        progress = self.cells[index]
+        with self._lock:
+            progress.status = CELL_RUNNING
+        self.save()
+        strategy = make_strategy(
+            self.spec.strategy,
+            samples=self.spec.samples,
+            cost_metric=self.spec.cost_metric,
+            refine_top=self.spec.refine_top,
+        )
+        result = strategy.search(evaluator, space, seed=self.spec.cell_seed(index))
+        with self._lock:
+            progress.archive.update(list(result.evaluated))
+            progress.evaluations += result.stats.evaluated + result.stats.failed
+            progress.infeasible += result.stats.failed
+            progress.elapsed_seconds += result.stats.elapsed_seconds
+            progress.status = CELL_DONE
+        self.save()
+        return rounds + 1
+
+
+# --- module-level conveniences (the api.py / CLI surface) ---------------------
+
+
+def run_campaign(
+    spec: Union[CampaignSpec, Mapping[str, Any], str, Path],
+    checkpoint: Optional[Union[str, Path]] = None,
+    *,
+    resume: bool = False,
+    jobs: Union[int, str] = "auto",
+    cache_dir: Optional[Union[str, Path]] = None,
+    max_rounds: Optional[int] = None,
+) -> CampaignResult:
+    """Run (or resume) a campaign; the one-call front door.
+
+    ``spec`` is a :class:`CampaignSpec`, a spec dict, or a path to a spec
+    JSON file. With ``resume=False`` an existing checkpoint file is an
+    error (refuse to clobber state); with ``resume=True`` the checkpoint
+    is loaded and the spec (if any) only cross-checked.
+    """
+    parsed: Optional[CampaignSpec]
+    if isinstance(spec, CampaignSpec):
+        parsed = spec
+    elif isinstance(spec, Mapping):
+        parsed = CampaignSpec.from_dict(spec)
+    elif spec is not None:
+        parsed = CampaignSpec.from_json(spec)
+    else:
+        parsed = None
+
+    if resume:
+        if checkpoint is None:
+            raise CampaignError("resume needs a checkpoint path")
+        campaign = Campaign.load(
+            checkpoint, spec=parsed, jobs=jobs, cache_dir=cache_dir
+        )
+    else:
+        if parsed is None:
+            raise CampaignError("a fresh campaign run needs a spec")
+        if checkpoint is not None and Path(checkpoint).exists():
+            raise CampaignError(
+                f"checkpoint {checkpoint} already exists; "
+                "resume it or choose a new path"
+            )
+        campaign = Campaign(parsed, checkpoint, jobs=jobs, cache_dir=cache_dir)
+    return campaign.run(max_rounds=max_rounds)
+
+
+def resume_campaign(
+    checkpoint: Union[str, Path],
+    *,
+    jobs: Union[int, str] = "auto",
+    cache_dir: Optional[Union[str, Path]] = None,
+    max_rounds: Optional[int] = None,
+) -> CampaignResult:
+    """Finish a checkpointed campaign (no-op if it already completed)."""
+    return run_campaign(
+        None,  # type: ignore[arg-type]
+        checkpoint,
+        resume=True,
+        jobs=jobs,
+        cache_dir=cache_dir,
+        max_rounds=max_rounds,
+    )
+
+
+def campaign_status(checkpoint: Union[str, Path]) -> CampaignResult:
+    """Inspect a checkpoint without evaluating anything."""
+    return Campaign.load(checkpoint).result()

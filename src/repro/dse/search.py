@@ -15,11 +15,13 @@ revisited designs answer from the fingerprint cache outright.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+import time
+from dataclasses import dataclass, field
+from typing import ClassVar, List, Optional, Protocol, Sequence, Tuple
 
 from repro.analysis.pareto import pareto_front
 from repro.core.cost.results import CostReport
+from repro.dse.evolve import EvolutionConfig, EvolutionEngine
 from repro.dse.objectives import Objective
 from repro.dse.sampler import DesignEvaluator, SampleStats, sample_space
 from repro.dse.space import CustomDesign, CustomDesignSpace
@@ -96,13 +98,19 @@ def random_search(
     )
 
 
+#: ``local_search`` defaults, named so budget estimates (campaign specs,
+#: the service cap) stay in sync with the walk they bound.
+LOCAL_SEARCH_ITERATIONS = 50
+LOCAL_SEARCH_NEIGHBOURS = 8
+
+
 def local_search(
     evaluator: DesignEvaluator,
     space: CustomDesignSpace,
     start: CustomDesign,
     objective: Objective,
-    iterations: int = 50,
-    neighbours: int = 8,
+    iterations: int = LOCAL_SEARCH_ITERATIONS,
+    neighbours: int = LOCAL_SEARCH_NEIGHBOURS,
     seed: int = 0,
 ) -> Tuple[CustomDesign, Optional[CostReport]]:
     """Hill climbing from ``start`` under a scalarized objective.
@@ -160,3 +168,137 @@ def guided_search(
         stats=base.stats,
         cost_metric=objective.cost_metric,
     )
+
+
+# --- the strategy protocol ---------------------------------------------------
+# The campaign engine (and the CLI's ``dse --strategy``) treat every search
+# as one interchangeable object; ``guided_search`` & friends above remain the
+# plain-function surface, and these adapters make each one a Strategy.
+
+
+class Strategy(Protocol):
+    """What a pluggable search strategy provides.
+
+    A strategy owns its tuning (sample counts, rates) but not the
+    evaluation context: ``search`` receives the shared evaluator and
+    space, and must be deterministic for a given ``seed`` regardless of
+    the evaluator's parallelism.
+    """
+
+    name: ClassVar[str]
+
+    @property
+    def cost_metric(self) -> str: ...
+
+    def search(
+        self, evaluator: DesignEvaluator, space: CustomDesignSpace, *, seed: int = 0
+    ) -> SearchResult: ...
+
+
+@dataclass(frozen=True)
+class RandomStrategy:
+    """The Fig. 10 baseline: evaluate a flat random sample."""
+
+    name: ClassVar[str] = "random"
+    samples: int = 500
+    cost_metric: str = "buffers"
+
+    def search(
+        self, evaluator: DesignEvaluator, space: CustomDesignSpace, *, seed: int = 0
+    ) -> SearchResult:
+        return random_search(
+            evaluator, space, self.samples, seed=seed, cost_metric=self.cost_metric
+        )
+
+
+@dataclass(frozen=True)
+class GuidedStrategy:
+    """Random sample plus hill-climbing refinement of the sampled front."""
+
+    name: ClassVar[str] = "guided"
+    samples: int = 500
+    cost_metric: str = "buffers"
+    refine_top: int = 5
+
+    def search(
+        self, evaluator: DesignEvaluator, space: CustomDesignSpace, *, seed: int = 0
+    ) -> SearchResult:
+        return guided_search(
+            evaluator,
+            space,
+            self.samples,
+            Objective(cost_metric=self.cost_metric),
+            refine_top=self.refine_top,
+            seed=seed,
+        )
+
+
+@dataclass(frozen=True)
+class EvolutionStrategy:
+    """NSGA-II evolution (:mod:`repro.dse.evolve`) run start to finish.
+
+    The campaign engine steps the same :class:`EvolutionEngine` itself so
+    it can checkpoint between generations; this adapter is the
+    uninterrupted one-call form the CLI and one-off searches use.
+    """
+
+    name: ClassVar[str] = "evolve"
+    config: EvolutionConfig = field(default_factory=EvolutionConfig)
+
+    @property
+    def cost_metric(self) -> str:
+        return self.config.cost_metric
+
+    def search(
+        self, evaluator: DesignEvaluator, space: CustomDesignSpace, *, seed: int = 0
+    ) -> SearchResult:
+        engine = EvolutionEngine(
+            space, self.config, evaluator.evaluate_batch, random.Random(seed)
+        )
+        hits_before = evaluator.runtime.totals.cache_hits
+        start = time.perf_counter()
+        evaluated: List[Tuple[CustomDesign, CostReport]] = list(engine.initialize(seed))
+        submitted = engine.last_submitted
+        for _ in range(self.config.generations):
+            evaluated.extend(engine.step())
+            submitted += engine.last_submitted
+        elapsed = time.perf_counter() - start
+        stats = SampleStats(
+            evaluated=len(evaluated),
+            failed=submitted - len(evaluated),
+            elapsed_seconds=elapsed,
+            cache_hits=evaluator.runtime.totals.cache_hits - hits_before,
+            jobs=evaluator.runtime.last_run.jobs,
+        )
+        return SearchResult(
+            evaluated=evaluated,
+            front=_front(evaluated, self.cost_metric),
+            stats=stats,
+            cost_metric=self.cost_metric,
+        )
+
+
+#: Strategy names accepted by :func:`make_strategy` (and the CLI/campaign).
+STRATEGY_NAMES = ("random", "guided", "evolve")
+
+
+def make_strategy(
+    name: str,
+    *,
+    samples: int = 500,
+    cost_metric: str = "buffers",
+    refine_top: int = 5,
+    evolution: Optional[EvolutionConfig] = None,
+) -> Strategy:
+    """Build a :class:`Strategy` by name with the relevant knobs applied."""
+    key = name.strip().lower()
+    if key == "random":
+        return RandomStrategy(samples=samples, cost_metric=cost_metric)
+    if key == "guided":
+        return GuidedStrategy(
+            samples=samples, cost_metric=cost_metric, refine_top=refine_top
+        )
+    if key == "evolve":
+        config = evolution or EvolutionConfig(cost_metric=cost_metric)
+        return EvolutionStrategy(config=config)
+    raise ValueError(f"unknown strategy {name!r}; expected one of {STRATEGY_NAMES}")

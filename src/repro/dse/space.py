@@ -54,6 +54,23 @@ class CustomDesign:
     def ce_count(self) -> int:
         return self.pipelined_layers + len(self.cuts) + 1
 
+    def to_dict(self) -> dict:
+        """JSON form (campaign checkpoints, service payloads)."""
+        return {
+            "pipelined_layers": self.pipelined_layers,
+            "cuts": list(self.cuts),
+            "num_layers": self.num_layers,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CustomDesign":
+        """Inverse of :meth:`to_dict` (re-validates the invariants)."""
+        return cls(
+            pipelined_layers=data["pipelined_layers"],
+            cuts=tuple(data["cuts"]),
+            num_layers=data["num_layers"],
+        )
+
     def to_spec(self) -> ArchitectureSpec:
         """Lower to the notation-level architecture spec."""
         blocks: List[BlockSpec] = []

@@ -61,3 +61,41 @@ def get_datatype(name: str) -> DataType:
     if key not in DATATYPES:
         raise KeyError(f"unknown datatype {name!r}; available: {sorted(DATATYPES)}")
     return DATATYPES[key]
+
+
+# --- the wire/JSON codec ------------------------------------------------------
+# The one serialized form every layer shares (service payloads, campaign
+# specs and checkpoints): {"weights": "int16", "activations": "int8"}.
+
+
+def precision_to_dict(precision: Precision) -> Dict[str, str]:
+    """The JSON form of a :class:`Precision` (inverse of
+    :func:`precision_from_names`)."""
+    return {
+        "weights": precision.weights.name,
+        "activations": precision.activations.name,
+    }
+
+
+def precision_from_names(data) -> Precision:
+    """``{"weights": name, "activations": name}`` -> :class:`Precision`.
+
+    Missing keys fall back to :data:`DEFAULT_PRECISION`; an unknown
+    datatype name or a non-string value raises ``ValueError`` for callers
+    to wrap into their own error types (the service's ``RequestError``,
+    the campaign layer's ``CampaignError``). Mapping-ness and unknown-key
+    checks stay with the caller.
+    """
+    names = {}
+    for key in ("weights", "activations"):
+        raw = data.get(key, getattr(DEFAULT_PRECISION, key).name)
+        if not isinstance(raw, str):
+            raise ValueError(f"precision.{key} must be a datatype name string")
+        try:
+            names[key] = get_datatype(raw)
+        except KeyError:
+            raise ValueError(
+                f"unknown datatype {raw!r} for precision.{key}; "
+                f"available: {sorted(DATATYPES)}"
+            ) from None
+    return Precision(weights=names["weights"], activations=names["activations"])

@@ -461,11 +461,24 @@ class BatchEvaluator:
         return CacheEntry(report=item.report, reason=item.reason)
 
     # --- DSE conveniences ----------------------------------------------------
+    def stream_designs(
+        self, designs: Iterable, progress: Optional[ProgressCallback] = None
+    ) -> Iterator[BatchItem]:
+        """:meth:`stream` over :class:`~repro.dse.space.CustomDesign` points.
+
+        The design-level entry point every DSE batch flows through
+        (campaign generations arrive here via
+        ``DesignEvaluator.evaluate_batch``); yields full
+        :class:`BatchItem` records for callers that need per-design
+        feasibility reasons. The evaluator — and with it the worker pool,
+        fingerprint cache, and segment cache — is meant to be reused
+        across generations, so each generation's batch starts warm.
+        """
+        return self.stream([design.to_spec() for design in designs], progress=progress)
+
     def evaluate_designs(self, designs: Iterable, progress=None) -> List[Optional[CostReport]]:
         """Batch evaluate :class:`~repro.dse.space.CustomDesign` points."""
-        return self.evaluate_specs(
-            [design.to_spec() for design in designs], progress=progress
-        )
+        return [item.report for item in self.stream_designs(designs, progress=progress)]
 
     def cache_info(self) -> dict:
         """Introspection snapshot used by the CLI and benchmarks."""

@@ -13,6 +13,7 @@ compares equal (``==``) to one computed in-process by ``api.evaluate``.
 from __future__ import annotations
 
 import json
+import time
 import urllib.error
 import urllib.request
 from dataclasses import dataclass, field
@@ -213,3 +214,47 @@ class ServiceClient:
             stats=data["stats"],
             raw=data,
         )
+
+    # --- campaigns (background jobs) -----------------------------------------
+    def start_campaign(self, spec: Dict[str, Any]) -> str:
+        """``POST /campaign``: launch a background campaign, returns its id.
+
+        ``spec`` is a campaign spec dict (the ``campaign.json`` format of
+        ``docs/dse.md``); poll :meth:`campaign` or block on
+        :meth:`wait_campaign` for progress and the final fronts.
+        """
+        return self._request("POST", "/campaign", {"spec": spec})["id"]
+
+    def campaign(self, campaign_id: str) -> Dict[str, Any]:
+        """``GET /campaign/<id>``: one job's live snapshot (raw payload)."""
+        return self._request("GET", f"/campaign/{campaign_id}")
+
+    def campaigns(self) -> List[Dict[str, Any]]:
+        """``GET /campaign``: every job the service has started."""
+        return self._request("GET", "/campaign")["campaigns"]
+
+    def wait_campaign(
+        self, campaign_id: str, timeout: float = 300.0, poll_seconds: float = 0.2
+    ) -> Dict[str, Any]:
+        """Poll until a campaign settles; raises on failure or timeout.
+
+        Returns the final snapshot, whose ``campaign.cells[*].front``
+        entries rebuild to bit-identical reports via
+        :func:`~repro.core.cost.export.report_from_dict`.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            snapshot = self.campaign(campaign_id)
+            if snapshot["state"] == "failed":
+                raise ServiceError(
+                    500, "campaign_failed", snapshot.get("error") or "campaign failed"
+                )
+            if snapshot["state"] == "done":
+                return snapshot
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    0,
+                    "timeout",
+                    f"campaign {campaign_id} still running after {timeout}s",
+                )
+            time.sleep(poll_seconds)

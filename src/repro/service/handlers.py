@@ -26,10 +26,12 @@ from repro.core.architectures import TEMPLATES, build_template
 from repro.core.cost.export import report_to_dict
 from repro.core.notation import ArchitectureSpec, parse_notation
 from repro.dse import CustomDesignSpace, DesignEvaluator, random_search
+from repro.dse.campaign import Campaign
 from repro.hw.boards import BOARDS, available_boards
 from repro.hw.datatypes import Precision
 from repro.runtime import BatchEvaluator, RunStats
 from repro.service.schema import (
+    CampaignRequest,
     DseRequest,
     EvaluateRequest,
     RequestError,
@@ -39,6 +41,75 @@ from repro.service.schema import (
 from repro.utils.errors import ResourceError
 
 Response = Tuple[int, Dict[str, Any]]
+
+#: Finished campaign jobs kept for polling before the oldest are evicted
+#: (each retains its full archive/population; unbounded retention would
+#: grow service memory forever).
+MAX_RETAINED_CAMPAIGNS = 32
+
+#: Campaigns allowed to run concurrently. Each one is a background thread
+#: with its own per-cell evaluator, so the per-request budget cap alone
+#: would not protect the host from a client looping ``POST /campaign``.
+MAX_RUNNING_CAMPAIGNS = 4
+
+
+class CampaignJob:
+    """One background campaign: the runner thread plus its lifecycle state.
+
+    The campaign itself is the source of truth for progress (its
+    ``result()`` snapshot is thread-safe); the job only adds the thread
+    and a terminal error, if any. Campaigns deliberately do *not* share
+    the service's per-context evaluators: a long campaign holding an
+    evaluator lock would starve interactive ``/evaluate`` traffic, so each
+    cell builds its own evaluator on the campaign thread.
+    """
+
+    def __init__(self, campaign_id: str, campaign: Campaign) -> None:
+        self.id = campaign_id
+        self.campaign = campaign
+        self.started = time.time()
+        self.finished: Optional[float] = None
+        self.error: Optional[str] = None
+        self.thread = threading.Thread(
+            target=self._run, name=f"repro-campaign-{campaign_id}", daemon=True
+        )
+
+    def _run(self) -> None:
+        try:
+            self.campaign.run()
+        except Exception as error:  # noqa: BLE001 - reported via polling
+            self.error = f"{type(error).__name__}: {error}"
+        finally:
+            self.finished = time.time()
+
+    @property
+    def state(self) -> str:
+        if self.error is not None:
+            return "failed"
+        if self.finished is not None or self.campaign.done:
+            return "done"
+        return "running"
+
+    def to_dict(self, include_fronts: Optional[bool] = None) -> Dict[str, Any]:
+        # Read the state once: deciding include_fronts and reporting the
+        # state from separate reads could emit "done" without the fronts
+        # when the campaign finishes between them.
+        state = self.state
+        if include_fronts is None:
+            # Fronts ride along only once the run settled; while running,
+            # snapshots stay cheap for tight polling loops.
+            include_fronts = state != "running"
+        result = self.campaign.result()
+        return {
+            "id": self.id,
+            "state": state,
+            "error": self.error,
+            "started": round(self.started, 3),
+            "elapsed_seconds": round(
+                (self.finished or time.time()) - self.started, 3
+            ),
+            "campaign": result.to_dict(include_fronts=include_fronts),
+        }
 
 
 class ServiceState:
@@ -77,6 +148,48 @@ class ServiceState:
         self.request_counts: Dict[str, int] = {}
         self.error_count = 0
         self._model_catalog: Optional[list] = None
+        #: id -> background campaign job (POST /campaign, GET /campaign/<id>).
+        self._campaign_lock = threading.Lock()
+        self._campaigns: Dict[str, CampaignJob] = {}
+        self._campaign_counter = 0
+
+    # --- campaign registry ---------------------------------------------------
+    def start_campaign(self, campaign: Campaign) -> CampaignJob:
+        """Register and launch one background campaign job.
+
+        Settled jobs beyond :data:`MAX_RETAINED_CAMPAIGNS` are evicted
+        oldest-first so a long-lived service does not hoard every finished
+        campaign's archive; running jobs are never evicted. Refuses (429)
+        when :data:`MAX_RUNNING_CAMPAIGNS` are already in flight.
+        """
+        with self._campaign_lock:
+            running = sum(
+                1 for job in self._campaigns.values() if job.state == "running"
+            )
+            if running >= MAX_RUNNING_CAMPAIGNS:
+                raise RequestError(
+                    f"{running} campaigns already running (cap "
+                    f"{MAX_RUNNING_CAMPAIGNS}); poll them to completion or "
+                    "run large campaigns on the CLI",
+                    status=429,
+                    kind="too_many_campaigns",
+                )
+            self._campaign_counter += 1
+            job = CampaignJob(f"c{self._campaign_counter}", campaign)
+            self._campaigns[job.id] = job
+            settled = [j for j in self._campaigns.values() if j.state != "running"]
+            for stale in settled[: max(0, len(settled) - MAX_RETAINED_CAMPAIGNS)]:
+                del self._campaigns[stale.id]
+        job.thread.start()
+        return job
+
+    def campaign_job(self, campaign_id: str) -> Optional[CampaignJob]:
+        with self._campaign_lock:
+            return self._campaigns.get(campaign_id)
+
+    def campaign_jobs(self) -> list:
+        with self._campaign_lock:
+            return list(self._campaigns.values())
 
     # --- evaluator registry --------------------------------------------------
     def evaluator_for(
@@ -286,6 +399,58 @@ def handle_sweep(state: ServiceState, request: SweepRequest) -> Response:
         }
     )
     return 200, payload
+
+
+def handle_campaign_start(state: ServiceState, request: CampaignRequest) -> Response:
+    """``POST /campaign``: launch a campaign on a background thread.
+
+    Returns 202 immediately with the job id; progress and the final fronts
+    come from polling ``GET /campaign/<id>``. The campaign runs in memory
+    (no checkpoint file) — crash-safe resumable campaigns belong to the
+    CLI, where the checkpoint path outlives the process.
+    """
+    campaign = Campaign(
+        request.spec, None, jobs=state.jobs, cache_dir=state.cache_dir
+    )
+    job = state.start_campaign(campaign)
+    return 202, {
+        "id": job.id,
+        "state": job.state,
+        "name": request.spec.name,
+        "strategy": request.spec.strategy,
+        "budget": request.spec.budget(),
+        "cells": len(request.spec.cells),
+        "poll": f"/campaign/{job.id}",
+    }
+
+
+def handle_campaign_get(state: ServiceState, campaign_id: str) -> Response:
+    """``GET /campaign/<id>``: a live snapshot of one background campaign."""
+    job = state.campaign_job(campaign_id)
+    if job is None:
+        known = [j.id for j in state.campaign_jobs()]
+        raise RequestError(
+            f"no campaign {campaign_id!r}; known: {known}",
+            status=404,
+            kind="unknown_campaign",
+        )
+    return 200, job.to_dict()
+
+
+def handle_campaign_list(state: ServiceState) -> Response:
+    """``GET /campaign``: every job this service has started."""
+    jobs = state.campaign_jobs()
+    return 200, {
+        "campaigns": [
+            {
+                "id": job.id,
+                "state": job.state,
+                "name": job.campaign.spec.name,
+                "started": round(job.started, 3),
+            }
+            for job in jobs
+        ]
+    }
 
 
 def handle_dse(state: ServiceState, request: DseRequest) -> Response:

@@ -21,14 +21,21 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
 
 from repro.cnn.zoo import available_models
+from repro.dse.campaign import CampaignError, CampaignSpec
 from repro.hw.boards import available_boards
-from repro.hw.datatypes import DATATYPES, DEFAULT_PRECISION, Precision, get_datatype
+from repro.hw.datatypes import (
+    DEFAULT_PRECISION,
+    Precision,
+    precision_from_names,
+    precision_to_dict,  # noqa: F401  (re-exported: the wire form of Precision)
+)
 from repro.utils.errors import (
     MCCMError,
     NotationError,
     ResourceError,
     ShapeError,
     ValidationError,
+    reject_unknown_fields,
 )
 
 #: Cost metrics accepted by ``POST /dse`` (mirrors the CLI's ``--cost``).
@@ -36,6 +43,11 @@ DSE_COST_METRICS = ("buffers", "access")
 
 #: Per-request sample cap for ``POST /dse`` (bounds evaluator-lock hold time).
 MAX_DSE_SAMPLES = 10_000
+
+#: Worst-case evaluation budget accepted by ``POST /campaign``. Campaigns
+#: run on a background thread rather than holding an evaluator lock, so the
+#: cap is about protecting the host, not request latency.
+MAX_CAMPAIGN_BUDGET = 100_000
 
 
 class RequestError(MCCMError):
@@ -51,6 +63,7 @@ class RequestError(MCCMError):
 #: the first match wins, so subclasses precede MCCMError itself.
 _ERROR_MAP: Tuple[Tuple[type, Tuple[int, str]], ...] = (
     (RequestError, (400, "bad_request")),  # status/kind read off the instance
+    (CampaignError, (400, "campaign_error")),
     (NotationError, (400, "notation_error")),
     (ShapeError, (400, "shape_error")),
     (ValidationError, (400, "validation_error")),
@@ -93,11 +106,7 @@ def _require_mapping(payload: Any) -> Mapping[str, Any]:
 
 
 def _reject_unknown(payload: Mapping[str, Any], allowed: Iterable[str]) -> None:
-    unknown = sorted(set(payload) - set(allowed))
-    if unknown:
-        raise RequestError(
-            f"unknown field(s) {unknown}; accepted: {sorted(allowed)}"
-        )
+    reject_unknown_fields(payload, allowed, "the request", RequestError)
 
 
 def _string_field(payload: Mapping[str, Any], name: str) -> str:
@@ -154,27 +163,13 @@ def parse_precision(value: Any) -> Precision:
     if not isinstance(value, Mapping):
         raise RequestError("field 'precision' must be an object")
     _reject_unknown(value, ("weights", "activations"))
-    names = {}
     for key in ("weights", "activations"):
-        raw = value.get(key, getattr(DEFAULT_PRECISION, key).name)
-        if not isinstance(raw, str):
+        if key in value and not isinstance(value[key], str):
             raise RequestError(f"precision.{key} must be a datatype name string")
-        try:
-            names[key] = get_datatype(raw)
-        except KeyError:
-            raise RequestError(
-                f"unknown datatype {raw!r} for precision.{key}; "
-                f"available: {sorted(DATATYPES)}"
-            ) from None
-    return Precision(weights=names["weights"], activations=names["activations"])
-
-
-def precision_to_dict(precision: Precision) -> Dict[str, str]:
-    """The wire form of a :class:`Precision` (inverse of :func:`parse_precision`)."""
-    return {
-        "weights": precision.weights.name,
-        "activations": precision.activations.name,
-    }
+    try:
+        return precision_from_names(value)
+    except ValueError as error:
+        raise RequestError(str(error)) from None
 
 
 # --- request dataclasses ------------------------------------------------------
@@ -268,6 +263,36 @@ def parse_sweep(payload: Any) -> SweepRequest:
         ce_counts=_ce_counts_field(body),
         precision=parse_precision(body.get("precision")),
     )
+
+
+@dataclass(frozen=True)
+class CampaignRequest:
+    """Validated body of ``POST /campaign``."""
+
+    spec: CampaignSpec
+
+
+def parse_campaign(payload: Any) -> CampaignRequest:
+    """``{"spec": {...campaign spec...}}`` -> a budget-capped request.
+
+    Spec validation (models, boards, strategies, rates) is
+    :meth:`~repro.dse.campaign.CampaignSpec.from_dict`'s job; a
+    :class:`~repro.dse.campaign.CampaignError` surfaces as a structured
+    400 via the error map.
+    """
+    body = _require_mapping(payload)
+    _reject_unknown(body, ("spec",))
+    if "spec" not in body:
+        raise RequestError("missing required field 'spec' (the campaign spec object)")
+    spec = CampaignSpec.from_dict(body["spec"])
+    budget = spec.budget()
+    if budget > MAX_CAMPAIGN_BUDGET:
+        raise RequestError(
+            f"campaign budget of ~{budget} evaluations exceeds the per-request "
+            f"cap of {MAX_CAMPAIGN_BUDGET} (shrink cells/population/generations, "
+            f"or run it with the CLI: repro campaign run)"
+        )
+    return CampaignRequest(spec=spec)
 
 
 def parse_dse(payload: Any) -> DseRequest:

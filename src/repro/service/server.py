@@ -46,12 +46,20 @@ ROUTES: Dict[str, Dict[str, Tuple[Optional[Callable], Callable]]] = {
         "/healthz": (None, handlers.handle_healthz),
         "/models": (None, handlers.handle_models),
         "/boards": (None, handlers.handle_boards),
+        "/campaign": (None, handlers.handle_campaign_list),
     },
     "POST": {
         "/evaluate": (schema.parse_evaluate, handlers.handle_evaluate),
         "/sweep": (schema.parse_sweep, handlers.handle_sweep),
         "/dse": (schema.parse_dse, handlers.handle_dse),
+        "/campaign": (schema.parse_campaign, handlers.handle_campaign_start),
     },
+}
+
+#: method -> ((path prefix, handler taking (state, suffix)), ...) for routes
+#: with a path parameter, e.g. ``GET /campaign/<id>``.
+DYNAMIC_ROUTES: Dict[str, Tuple[Tuple[str, Callable], ...]] = {
+    "GET": (("/campaign/", handlers.handle_campaign_get),),
 }
 
 
@@ -105,6 +113,15 @@ class _RequestHandler(BaseHTTPRequestHandler):
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         route = ROUTES.get(method, {}).get(path)
         if route is None:
+            for prefix, dynamic_handler in DYNAMIC_ROUTES.get(method, ()):
+                if path.startswith(prefix) and len(path) > len(prefix):
+                    # Count under the route pattern, not the concrete id —
+                    # per-id keys would grow request_counts without bound.
+                    self._invoke(
+                        f"{prefix}<id>",
+                        lambda: dynamic_handler(self.state, path[len(prefix):]),
+                    )
+                    return
             known = sorted(ROUTES["GET"]) + sorted(ROUTES["POST"])
             if any(path in table for table in ROUTES.values()):
                 status, payload = 405, schema.error_payload(
@@ -126,17 +143,23 @@ class _RequestHandler(BaseHTTPRequestHandler):
             return
 
         parser, handler = route
-        try:
+
+        def produce() -> Tuple[int, Dict[str, Any]]:
             if parser is None:
-                status, payload = handler(self.state)
-            else:
-                request = parser(self._read_body())
-                status, payload = handler(self.state, request)
+                return handler(self.state)
+            return handler(self.state, parser(self._read_body()))
+
+        self._invoke(path, produce)
+
+    def _invoke(self, path: str, produce: Callable[[], Tuple[int, Dict[str, Any]]]) -> None:
+        """Run one resolved route with the shared error-to-JSON contract."""
+        try:
+            status, payload = produce()
         except MCCMError as error:
             status, _kind = schema.classify_error(error)
             payload = schema.error_payload(error)
         except Exception as error:  # pragma: no cover - defensive
-            logger.exception("unhandled error serving %s %s", method, path)
+            logger.exception("unhandled error serving %s", path)
             status, payload = 500, schema.error_payload(error)
         self.state.count_request(path, ok=status < 400)
         self._send_json(status, payload)

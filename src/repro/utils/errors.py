@@ -41,3 +41,17 @@ class ValidationError(MCCMError):
     have mismatched lengths or a reference value is non-positive, which would
     make the paper's accuracy formula (Eq. 10) undefined.
     """
+
+
+def reject_unknown_fields(data, allowed, where, error_type=MCCMError) -> None:
+    """Raise ``error_type`` if ``data`` carries keys outside ``allowed``.
+
+    Shared by every JSON-validating layer (service request schemas,
+    campaign specs) so the "unknown field(s)" message stays uniform while
+    each layer keeps its own error class.
+    """
+    unknown = sorted(set(data) - set(allowed))
+    if unknown:
+        raise error_type(
+            f"unknown field(s) {unknown} in {where}; accepted: {sorted(allowed)}"
+        )

@@ -4,7 +4,16 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.analysis.pareto import dominates, pareto_front, report_front, scatter_points
+from repro.analysis.pareto import (
+    FRONT_CSV_COLUMNS,
+    crowding_distance,
+    dominates,
+    front_to_csv,
+    hypervolume,
+    pareto_front,
+    report_front,
+    scatter_points,
+)
 from repro.api import sweep
 
 
@@ -47,6 +56,94 @@ class TestParetoFront:
                     and (other[0] > member[0] or other[1] < member[1])
                 )
                 assert not strictly_better
+
+
+class TestCrowdingDistance:
+    def test_two_or_fewer_items_are_boundary(self):
+        assert crowding_distance([(1.0, 1.0)], lambda p: p[0], lambda p: p[1]) == [
+            float("inf")
+        ]
+        assert crowding_distance(
+            [(1.0, 1.0), (2.0, 2.0)], lambda p: p[0], lambda p: p[1]
+        ) == [float("inf"), float("inf")]
+
+    def test_boundaries_infinite_interior_finite(self):
+        points = [(1.0, 1.0), (2.0, 2.0), (4.0, 4.0)]
+        distances = crowding_distance(points, lambda p: p[0], lambda p: p[1])
+        assert distances[0] == float("inf")
+        assert distances[2] == float("inf")
+        # Interior: sum of normalized gaps, one per axis: 3/3 + 3/3.
+        assert distances[1] == pytest.approx(2.0)
+
+    def test_denser_region_scores_lower(self):
+        # Two interior points; the one crammed next to a neighbour is denser.
+        points = [(0.0, 0.0), (1.0, 1.0), (1.1, 1.1), (10.0, 10.0)]
+        distances = crowding_distance(points, lambda p: p[0], lambda p: p[1])
+        assert 0.0 < distances[1] < distances[2]  # tighter neighbour gap
+
+    def test_degenerate_axis_ignored(self):
+        points = [(1.0, 5.0), (2.0, 5.0), (3.0, 5.0)]
+        distances = crowding_distance(points, lambda p: p[0], lambda p: p[1])
+        assert distances[0] == float("inf") and distances[2] == float("inf")
+        assert distances[1] == pytest.approx(1.0)
+
+
+class TestHypervolume:
+    def test_empty(self):
+        assert hypervolume([], lambda p: p[0], lambda p: p[1]) == 0.0
+
+    def test_single_point_rectangle(self):
+        volume = hypervolume(
+            [(3.0, 2.0)], lambda p: p[0], lambda p: p[1], reference=(0.0, 10.0)
+        )
+        assert volume == pytest.approx(3.0 * (10.0 - 2.0))
+
+    def test_staircase(self):
+        points = [(1.0, 1.0), (2.0, 3.0)]
+        volume = hypervolume(
+            points, lambda p: p[0], lambda p: p[1], reference=(0.0, 5.0)
+        )
+        # (5-1)*1 + (5-3)*(2-1)
+        assert volume == pytest.approx(4.0 + 2.0)
+
+    def test_dominated_point_contributes_nothing(self):
+        base = [(2.0, 3.0)]
+        extra = base + [(1.0, 4.0)]  # dominated: less benefit, more cost
+        ref = (0.0, 10.0)
+        assert hypervolume(
+            extra, lambda p: p[0], lambda p: p[1], reference=ref
+        ) == pytest.approx(hypervolume(base, lambda p: p[0], lambda p: p[1], reference=ref))
+
+    def test_adding_nondominated_point_grows_volume(self):
+        ref = (0.0, 10.0)
+        small = hypervolume([(2.0, 3.0)], lambda p: p[0], lambda p: p[1], reference=ref)
+        grown = hypervolume(
+            [(2.0, 3.0), (4.0, 6.0)], lambda p: p[0], lambda p: p[1], reference=ref
+        )
+        assert grown > small
+
+    def test_default_reference_uses_max_front_cost(self):
+        points = [(1.0, 1.0), (2.0, 3.0)]
+        # Default ref cost = 3 (max front cost): only the cheap point's
+        # rectangle up to that line counts.
+        assert hypervolume(points, lambda p: p[0], lambda p: p[1]) == pytest.approx(
+            (3.0 - 1.0) * 1.0
+        )
+
+
+class TestFrontCsv:
+    def test_columns_and_stability(self, roomy_board):
+        from tests.conftest import build_tiny_cnn
+
+        reports = sweep(build_tiny_cnn(), roomy_board, ce_counts=[2, 3])
+        entries = [("cell", report) for report in reports]
+        text = front_to_csv(entries, "buffers")
+        lines = text.splitlines()
+        assert lines[0] == ",".join(FRONT_CSV_COLUMNS)
+        assert len(lines) == 1 + len(entries)
+        # Byte-for-byte stable across identical inputs (the CI kill/resume
+        # smoke compares these files directly).
+        assert text == front_to_csv(entries, "buffers")
 
 
 class TestReportHelpers:

@@ -91,3 +91,58 @@ class TestLocalAndGuidedSearch:
         guided = guided_search(evaluator, space, samples=15, objective=objective, seed=2)
         assert guided.front
         assert guided.stats.evaluated > 0
+
+
+class TestStrategyProtocol:
+    def test_random_strategy_matches_function(self, setup):
+        evaluator, space = setup
+        from repro.dse.search import make_strategy
+
+        via_strategy = make_strategy("random", samples=12).search(
+            evaluator, space, seed=4
+        )
+        direct = random_search(evaluator, space, samples=12, seed=4)
+        assert [design for design, _ in via_strategy.evaluated] == [
+            design for design, _ in direct.evaluated
+        ]
+        assert [design for design, _ in via_strategy.front] == [
+            design for design, _ in direct.front
+        ]
+
+    def test_guided_strategy_matches_function(self, setup):
+        evaluator, space = setup
+        from repro.dse.search import make_strategy
+
+        via_strategy = make_strategy("guided", samples=10).search(
+            evaluator, space, seed=3
+        )
+        direct = guided_search(
+            evaluator, space, samples=10, objective=Objective(), seed=3
+        )
+        assert [design for design, _ in via_strategy.evaluated] == [
+            design for design, _ in direct.evaluated
+        ]
+
+    def test_evolve_strategy_is_seed_deterministic(self, setup):
+        evaluator, space = setup
+        from repro.dse.evolve import EvolutionConfig
+        from repro.dse.search import make_strategy
+
+        config = EvolutionConfig(population=6, generations=2)
+        first = make_strategy("evolve", evolution=config).search(
+            evaluator, space, seed=5
+        )
+        second = make_strategy("evolve", evolution=config).search(
+            evaluator, space, seed=5
+        )
+        assert [design for design, _ in first.evaluated] == [
+            design for design, _ in second.evaluated
+        ]
+        assert first.stats.evaluated == second.stats.evaluated
+        assert first.front
+
+    def test_unknown_strategy_rejected(self):
+        from repro.dse.search import make_strategy
+
+        with pytest.raises(ValueError):
+            make_strategy("annealing")

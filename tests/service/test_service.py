@@ -279,6 +279,135 @@ class TestConcurrency:
                 assert warm_result.stats["cache_hits"] == kwargs["samples"]
 
 
+class TestCampaign:
+    SPEC = {
+        "name": "service-campaign",
+        "seed": 5,
+        "strategy": "evolve",
+        "population": 6,
+        "generations": 2,
+        "cells": [{"model": MODEL, "board": BOARD}],
+    }
+
+    def test_background_campaign_round_trips(self, client):
+        campaign_id = client.start_campaign(self.SPEC)
+        snapshot = client.wait_campaign(campaign_id, timeout=120)
+        assert snapshot["state"] == "done"
+        assert snapshot["error"] is None
+        campaign = snapshot["campaign"]
+        assert campaign["done"] is True
+        cell = campaign["cells"][0]
+        assert cell["status"] == "done"
+        assert cell["front"], "campaign finished with an empty front"
+        # Front reports rebuild bit-identically over the wire.
+        from repro.core.cost.export import report_from_dict, report_to_dict
+
+        for entry in cell["front"]:
+            assert report_to_dict(report_from_dict(entry["report"])) == entry["report"]
+        # And the job is listed.
+        assert campaign_id in [job["id"] for job in client.campaigns()]
+
+    def test_matches_in_process_campaign(self, client):
+        from repro.dse.campaign import run_campaign
+
+        campaign_id = client.start_campaign(self.SPEC)
+        snapshot = client.wait_campaign(campaign_id, timeout=120)
+        local = run_campaign(dict(self.SPEC))
+        local_fronts = [cell.to_dict()["front"] for cell in local.cells]
+        service_fronts = [
+            cell["front"] for cell in snapshot["campaign"]["cells"]
+        ]
+        assert service_fronts == local_fronts
+
+    def test_unknown_campaign_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.campaign("never-started")
+        assert excinfo.value.status == 404
+        assert excinfo.value.kind == "unknown_campaign"
+
+    def test_bad_spec_rejected(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.start_campaign({"cells": [{"model": "nope", "board": BOARD}]})
+        assert excinfo.value.status == 400
+        assert excinfo.value.kind == "campaign_error"
+
+    def test_settled_jobs_are_evicted_beyond_cap(self):
+        from repro.dse.campaign import Campaign, CampaignSpec
+        from repro.service.handlers import MAX_RETAINED_CAMPAIGNS, ServiceState
+
+        state = ServiceState()
+        spec = CampaignSpec.from_dict(
+            {
+                "name": "evict",
+                "population": 4,
+                "generations": 0,
+                "cells": [{"model": MODEL, "board": BOARD}],
+            }
+        )
+        # Start sequentially (joining each) so the running-campaign cap
+        # never rejects a start; only settled-job retention is under test.
+        jobs = []
+        for _ in range(MAX_RETAINED_CAMPAIGNS + 5):
+            job = state.start_campaign(Campaign(spec))
+            job.thread.join()
+            jobs.append(job)
+        newest = state.start_campaign(Campaign(spec))
+        newest.thread.join()
+        retained = state.campaign_jobs()
+        assert len(retained) <= MAX_RETAINED_CAMPAIGNS + 1
+        # The newest job always survives; the evicted ones are the oldest.
+        assert newest.id in [job.id for job in retained]
+        assert jobs[0].id not in [job.id for job in retained]
+
+    def test_running_campaign_cap(self):
+        import threading
+
+        from repro.dse.campaign import Campaign, CampaignSpec
+        from repro.service.handlers import MAX_RUNNING_CAMPAIGNS, ServiceState
+        from repro.service.schema import RequestError
+
+        state = ServiceState()
+        spec = CampaignSpec.from_dict(
+            {
+                "name": "cap",
+                "population": 4,
+                "generations": 0,
+                "cells": [{"model": MODEL, "board": BOARD}],
+            }
+        )
+        # Campaigns that block until released, so they all count as running.
+        gate = threading.Event()
+
+        class _Blocked(Campaign):
+            def run(self, max_rounds=None):
+                gate.wait(timeout=30)
+                return super().run(max_rounds=max_rounds)
+
+        jobs = [
+            state.start_campaign(_Blocked(spec))
+            for _ in range(MAX_RUNNING_CAMPAIGNS)
+        ]
+        try:
+            with pytest.raises(RequestError) as excinfo:
+                state.start_campaign(_Blocked(spec))
+            assert excinfo.value.status == 429
+        finally:
+            gate.set()
+            for job in jobs:
+                job.thread.join()
+
+    def test_budget_cap_enforced(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.start_campaign(
+                {
+                    "population": 1000,
+                    "generations": 1000,
+                    "cells": [{"model": MODEL, "board": BOARD}],
+                }
+            )
+        assert excinfo.value.status == 400
+
+
 class TestLifecycle:
     def test_stop_is_graceful_and_idempotent(self):
         service = EvaluationService(port=0).start()
