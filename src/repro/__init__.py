@@ -23,13 +23,23 @@ from repro.api import (
     run_campaign,
     sweep,
 )
-from repro.cnn.zoo import available_models, load_model
 from repro.core.cost.results import CostReport
 from repro.core.notation import ArchitectureSpec, parse_notation
-from repro.hw.boards import available_boards, get_board
 from repro.runtime import BatchEvaluator, RunStats
+# Workload resolution goes through the registry, so listings and lookups
+# reflect user-registered models/boards, not just the paper's built-ins.
+from repro.workloads import (
+    available_boards,
+    available_models,
+    get_board,
+    load_model,
+    register_board,
+    register_model,
+    unregister_board,
+    unregister_model,
+)
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "build_accelerator",
@@ -46,10 +56,14 @@ __all__ = [
     "RunStats",
     "available_models",
     "load_model",
+    "register_model",
+    "unregister_model",
     "CostReport",
     "ArchitectureSpec",
     "parse_notation",
     "available_boards",
     "get_board",
+    "register_board",
+    "unregister_board",
     "__version__",
 ]

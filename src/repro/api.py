@@ -17,7 +17,6 @@ from pathlib import Path
 from typing import Iterable, List, Optional, Union
 
 from repro.cnn.graph import CNNGraph
-from repro.cnn.zoo import load_model
 # Campaign entry points are part of the public API surface: run_campaign /
 # resume_campaign / campaign_status accept a spec (object, dict, or JSON
 # path) plus a checkpoint path, and return a CampaignResult. See docs/dse.md.
@@ -38,11 +37,18 @@ from repro.core.builder import Accelerator, MultipleCEBuilder
 from repro.core.cost.model import default_model
 from repro.core.cost.results import CostReport
 from repro.core.notation import ArchitectureSpec, parse_notation
-from repro.hw.boards import FPGABoard, get_board
+from repro.hw.boards import FPGABoard
 from repro.hw.datatypes import DEFAULT_PRECISION, Precision
 from repro.runtime import BatchEvaluator, ProgressCallback, RunStats
 from repro.runtime.fingerprint import context_fingerprint
 from repro.utils.errors import MCCMError, ResourceError
+# Workload resolution and registration are registry concerns; the API
+# re-exports the registration entry points as part of its public surface.
+from repro.workloads import (  # noqa: F401  (re-exported)
+    REGISTRY,
+    register_board,
+    register_model,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -52,30 +58,30 @@ ArchitectureLike = Union[str, ArchitectureSpec]
 
 
 def resolve_model(model: ModelLike) -> CNNGraph:
-    """Accept a zoo name or an already-built graph.
+    """Accept a registered name (zoo or custom) or an already-built graph.
 
-    Unknown names raise :class:`MCCMError` (the registry's ``KeyError`` is a
-    lookup detail; API callers get the library's error hierarchy).
+    Unknown names raise
+    :class:`~repro.utils.errors.UnknownWorkloadError` — an
+    :class:`MCCMError` (and ``KeyError``) subclass carrying a did-you-mean
+    suggestion.
     """
     if isinstance(model, CNNGraph):
         return model
-    try:
-        return load_model(model)
-    except KeyError as error:
-        raise MCCMError(error.args[0]) from None
+    return REGISTRY.model(model)
 
 
-def resolve_board(board: BoardLike) -> FPGABoard:
-    """Accept a Table II board name or an explicit board description.
+def resolve_board(
+    board: BoardLike, *, precision: Optional[Precision] = None
+) -> FPGABoard:
+    """Accept a registered board name or an explicit board description.
 
-    Unknown names raise :class:`MCCMError`, like :func:`resolve_model`.
+    Unknown names raise :class:`~repro.utils.errors.UnknownWorkloadError`,
+    like :func:`resolve_model`. Passing ``precision`` additionally enforces
+    a registered board's ``supported_precisions`` restriction.
     """
     if isinstance(board, FPGABoard):
         return board
-    try:
-        return get_board(board)
-    except KeyError as error:
-        raise MCCMError(error.args[0]) from None
+    return REGISTRY.board(board, precision=precision)
 
 
 def build_accelerator(
@@ -93,7 +99,7 @@ def build_accelerator(
     :class:`ArchitectureSpec`.
     """
     graph = resolve_model(model)
-    fpga = resolve_board(board)
+    fpga = resolve_board(board, precision=precision)
     builder = MultipleCEBuilder(graph, fpga, precision)
     if isinstance(architecture, ArchitectureSpec):
         spec = architecture
@@ -199,7 +205,7 @@ def sweep(
     ``jobs="auto"`` lets the runtime fork only when it would win.
     """
     graph = resolve_model(model)
-    fpga = resolve_board(board)
+    fpga = resolve_board(board, precision=precision)
     if runtime is not None:
         if jobs != 1 or cache_dir is not None:
             raise ValueError(

@@ -12,7 +12,10 @@ Subcommands mirror the library's use cases:
 * ``serve`` — the concurrent HTTP evaluation service (``docs/api.md``).
 * ``bench`` — time the evaluation hot path: cold vs segment-cached vs
   fingerprint-cached (``docs/performance.md``).
-* ``models`` / ``boards`` — list the registered CNNs and FPGAs.
+* ``models`` / ``boards`` — ``list`` the registered CNNs and FPGAs or
+  ``register`` user-defined JSON ones (persisted in the workload
+  directory, ``$MCCM_WORKLOAD_DIR``); ``evaluate``/``sweep``/``dse``/
+  ``validate`` also take one-shot ``--model-file``/``--board-file``.
 
 Bad inputs (unknown model/board names, malformed notation) exit with
 status 2 and a one-line ``error:`` message instead of a traceback.
@@ -27,11 +30,11 @@ from typing import List, Optional
 
 from repro.utils.errors import MCCMError
 
+from repro import workloads
 from repro.analysis.pareto import report_front
 from repro.analysis.reporting import comparison_table
 from repro.api import build_accelerator, evaluate, resolve_board, resolve_model, sweep
 from repro.cnn.stats import collect_stats, stats_table
-from repro.cnn.zoo import available_models, load_model
 from repro.core.cost.export import report_to_json, reports_to_csv
 from repro.core.cost.model import default_model
 from repro.dse import (
@@ -47,14 +50,55 @@ from repro.dse.campaign import (
     resume_campaign,
     run_campaign,
 )
-from repro.hw.boards import BOARDS, available_boards
 from repro.synth.simulator import SynthesisSimulator
 from repro.synth.validate import ValidationRecord
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--model", required=True, help="zoo model name, e.g. resnet50")
-    parser.add_argument("--board", required=True, help="board name, e.g. zc706")
+    parser.add_argument(
+        "--model", help="registered model name (zoo or custom), e.g. resnet50"
+    )
+    parser.add_argument(
+        "--model-file",
+        metavar="FILE",
+        help="model JSON file (cnn/serialize schema); registered for this "
+        "run under the file's model name",
+    )
+    parser.add_argument(
+        "--board", help="registered board name (paper or custom), e.g. zc706"
+    )
+    parser.add_argument(
+        "--board-file",
+        metavar="FILE",
+        help="board JSON file (see docs/api.md); registered for this run "
+        "under the file's board name",
+    )
+
+
+def _selected_workloads(args: argparse.Namespace) -> tuple:
+    """Resolve ``--model/--model-file`` and ``--board/--board-file`` to names.
+
+    File arguments are validated and registered (``replace=True`` — the
+    file on the command line is the source of truth for its name), so the
+    rest of the pipeline sees plain registry names either way.
+    """
+    if args.model_file:
+        if args.model:
+            raise MCCMError("pass --model or --model-file, not both")
+        model = workloads.register_model(args.model_file, replace=True)
+    elif args.model:
+        model = args.model
+    else:
+        raise MCCMError("one of --model / --model-file is required")
+    if args.board_file:
+        if args.board:
+            raise MCCMError("pass --board or --board-file, not both")
+        board = workloads.register_board(args.board_file, replace=True)
+    elif args.board:
+        board = args.board
+    else:
+        raise MCCMError("one of --board / --board-file is required")
+    return model, board
 
 
 def _nonnegative_int(text: str) -> int:
@@ -115,7 +159,8 @@ def _print_run_stats(stats) -> None:
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
-    report = evaluate(args.model, args.board, args.arch, ce_count=args.ces)
+    model, board = _selected_workloads(args)
+    report = evaluate(model, board, args.arch, ce_count=args.ces)
     if args.json:
         print(report_to_json(report))
     else:
@@ -125,9 +170,10 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    model, board = _selected_workloads(args)
     reports = sweep(
-        args.model,
-        args.board,
+        model,
+        board,
         architectures=args.arch or None,
         ce_counts=range(args.min_ces, args.max_ces + 1),
         jobs=args.jobs,
@@ -159,11 +205,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
-    accelerator = build_accelerator(args.model, args.board, args.arch, ce_count=args.ces)
+    model, board = _selected_workloads(args)
+    accelerator = build_accelerator(model, board, args.arch, ce_count=args.ces)
     report = default_model().evaluate(accelerator)
     simulation = SynthesisSimulator(accelerator).run()
     record = ValidationRecord.from_results(
-        args.arch, args.model, args.ces, report, simulation
+        args.arch, model, args.ces, report, simulation
     )
     for metric, accuracy in record.accuracies.items():
         print(f"{metric:<12} {accuracy:6.1f}%")
@@ -171,8 +218,13 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 
 
 def _cmd_dse(args: argparse.Namespace) -> int:
-    graph = resolve_model(args.model)
-    board = resolve_board(args.board)
+    from repro.hw.datatypes import DEFAULT_PRECISION
+
+    model_name, board_name = _selected_workloads(args)
+    graph = resolve_model(model_name)
+    # dse runs at the default precision; enforce a registered board's
+    # supported_precisions restriction like every other command.
+    board = resolve_board(board_name, precision=DEFAULT_PRECISION)
     space = CustomDesignSpace(graph.conv_specs())
     strategy = make_strategy(
         args.strategy,
@@ -192,8 +244,8 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         payload = result.to_dict()
         payload.update(
             {
-                "model": args.model,
-                "board": args.board,
+                "model": model_name,
+                "board": board_name,
                 "strategy": args.strategy,
                 "seed": args.seed,
                 "space_size": space.size(),
@@ -333,22 +385,82 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return serve(args.host, args.port, jobs=args.jobs, cache_dir=args.cache)
 
 
-def _cmd_models(_args: argparse.Namespace) -> int:
-    stats = [collect_stats(load_model(name)) for name in available_models()]
+def _cmd_models_list(args: argparse.Namespace) -> int:
+    names = workloads.available_models()
+    if getattr(args, "json", False):
+        catalog = []
+        for name in names:
+            stats = collect_stats(workloads.load_model(name))
+            catalog.append(
+                {
+                    "name": name,
+                    "display_name": stats.name,
+                    "conv_layers": stats.conv_layer_count,
+                    "gmacs": round(stats.gmacs, 3),
+                    "weights_millions": round(stats.weights_millions, 3),
+                    "custom": not workloads.REGISTRY.is_builtin_model(name),
+                    "source": workloads.REGISTRY.model_source(name),
+                }
+            )
+        print(json.dumps({"models": catalog}, indent=2))
+        return 0
+    stats = [collect_stats(workloads.load_model(name)) for name in names]
     print(stats_table(stats))
+    custom = [name for name in names if not workloads.REGISTRY.is_builtin_model(name)]
+    if custom:
+        print(f"custom: {', '.join(custom)}", file=sys.stderr)
     return 0
 
 
-def _cmd_boards(_args: argparse.Namespace) -> int:
-    header = f"{'board':<10}{'DSPs':>8}{'BRAM MiB':>10}{'BW GB/s':>9}"
+def _cmd_models_register(args: argparse.Namespace) -> int:
+    name = workloads.register_model(args.file, replace=True)
+    graph = workloads.load_model(name)
+    line = f"registered model {name!r} ({graph.num_conv_layers} conv layers)"
+    if not args.no_save:
+        path = workloads.save_workload(
+            "model", name, workloads.REGISTRY.model_definition(name)
+        )
+        line += f" -> {path}"
+    print(line)
+    return 0
+
+
+def _cmd_boards_list(args: argparse.Namespace) -> int:
+    names = workloads.available_boards()
+    if getattr(args, "json", False):
+        print(
+            json.dumps(
+                {"boards": [workloads.REGISTRY.board_definition(n) for n in names]},
+                indent=2,
+            )
+        )
+        return 0
+    header = f"{'board':<12}{'DSPs':>8}{'BRAM MiB':>10}{'BW GB/s':>9}"
     print(header)
     print("-" * len(header))
-    for name in available_boards():
-        board = BOARDS[name]
+    for name in names:
+        board = workloads.get_board(name)
+        suffix = "" if workloads.REGISTRY.is_builtin_board(name) else "  (custom)"
         print(
-            f"{name:<10}{board.dsp_count:>8}{board.bram_bytes / 2**20:>10.1f}"
-            f"{board.bandwidth_gbps:>9.1f}"
+            f"{name:<12}{board.dsp_count:>8}{board.bram_bytes / 2**20:>10.1f}"
+            f"{board.bandwidth_gbps:>9.1f}{suffix}"
         )
+    return 0
+
+
+def _cmd_boards_register(args: argparse.Namespace) -> int:
+    name = workloads.register_board(args.file, replace=True)
+    board = workloads.get_board(name)
+    line = (
+        f"registered board {name!r} ({board.dsp_count} DSPs, "
+        f"{board.bram_bytes / 2**20:.1f} MiB BRAM, {board.bandwidth_gbps:g} GB/s)"
+    )
+    if not args.no_save:
+        path = workloads.save_workload(
+            "board", name, workloads.REGISTRY.board_definition(name)
+        )
+        line += f" -> {path}"
+    print(line)
     return 0
 
 
@@ -490,11 +602,41 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runtime(cmd)
     cmd.set_defaults(func=_cmd_serve)
 
-    cmd = commands.add_parser("models", help="list zoo models")
-    cmd.set_defaults(func=_cmd_models)
+    cmd = commands.add_parser("models", help="list or register CNN models")
+    cmd.set_defaults(func=_cmd_models_list)
+    model_commands = cmd.add_subparsers(dest="models_command")
+    sub = model_commands.add_parser("list", help="every registered model")
+    sub.add_argument("--json", action="store_true", help="emit the JSON catalog")
+    sub.set_defaults(func=_cmd_models_list)
+    sub = model_commands.add_parser(
+        "register", help="validate and register a model JSON file"
+    )
+    sub.add_argument("file", help="model JSON file (cnn/serialize schema)")
+    sub.add_argument(
+        "--no-save",
+        action="store_true",
+        help="validate/register for this process only instead of persisting "
+        "into the workload directory ($MCCM_WORKLOAD_DIR)",
+    )
+    sub.set_defaults(func=_cmd_models_register)
 
-    cmd = commands.add_parser("boards", help="list FPGA boards")
-    cmd.set_defaults(func=_cmd_boards)
+    cmd = commands.add_parser("boards", help="list or register FPGA boards")
+    cmd.set_defaults(func=_cmd_boards_list)
+    board_commands = cmd.add_subparsers(dest="boards_command")
+    sub = board_commands.add_parser("list", help="every registered board")
+    sub.add_argument("--json", action="store_true", help="emit the JSON catalog")
+    sub.set_defaults(func=_cmd_boards_list)
+    sub = board_commands.add_parser(
+        "register", help="validate and register a board JSON file"
+    )
+    sub.add_argument("file", help="board JSON file (see docs/api.md)")
+    sub.add_argument(
+        "--no-save",
+        action="store_true",
+        help="validate/register for this process only instead of persisting "
+        "into the workload directory ($MCCM_WORKLOAD_DIR)",
+    )
+    sub.set_defaults(func=_cmd_boards_register)
     return parser
 
 
@@ -502,10 +644,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        # Models/boards persisted by `repro models|boards register` load
+        # into the registry before any command resolves names.
+        workloads.load_workload_dir()
         return args.func(args)
     except MCCMError as error:
-        # Covers unknown model/board names too: resolve_model/resolve_board
-        # translate the registries' KeyError into MCCMError.
+        # Covers unknown model/board names too: the workload registry
+        # raises UnknownWorkloadError, an MCCMError with suggestions.
         print(f"error: {error}", file=sys.stderr)
         return 2
 

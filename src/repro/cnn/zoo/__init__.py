@@ -10,6 +10,7 @@ from functools import lru_cache
 from typing import Callable, Dict, List
 
 from repro.cnn.graph import CNNGraph
+from repro.utils.errors import UnknownWorkloadError
 from repro.cnn.zoo.classic import alexnet, vgg16
 from repro.cnn.zoo.densenet import build_densenet, densenet121
 from repro.cnn.zoo.efficientnet import efficientnet_lite0
@@ -59,12 +60,14 @@ def load_model(name: str) -> CNNGraph:
     """Build (or fetch the cached) model by canonical name or abbreviation.
 
     Lookup is case-insensitive and the cache is keyed on the canonical
-    name, so every spelling returns the same graph object.
+    name, so every spelling returns the same graph object. The zoo only
+    knows built-in models; :mod:`repro.workloads` resolves custom ones.
     """
     key = name.strip().lower()
     key = ABBREVIATIONS.get(key, key)
     if key not in _BUILDERS:
-        raise KeyError(f"unknown model {name!r}; available: {available_models()}")
+        # A KeyError subclass, so historical callers keep working.
+        raise UnknownWorkloadError("model", name, _BUILDERS)
     return _load_canonical(key)
 
 

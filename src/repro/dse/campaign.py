@@ -39,7 +39,6 @@ from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.analysis.pareto import dominates, front_to_csv, hypervolume, pareto_front
-from repro.cnn.zoo import available_models
 from repro.core.cost.export import report_from_dict, report_to_dict
 from repro.core.cost.results import CostReport
 from repro.dse.evolve import (
@@ -56,7 +55,6 @@ from repro.dse.search import (
     make_strategy,
 )
 from repro.dse.space import CustomDesign, CustomDesignSpace
-from repro.hw.boards import available_boards
 from repro.hw.datatypes import (
     DEFAULT_PRECISION,
     Precision,
@@ -64,9 +62,12 @@ from repro.hw.datatypes import (
     precision_to_dict,
 )
 from repro.utils.errors import MCCMError, reject_unknown_fields
+from repro.workloads import REGISTRY
 
 #: Checkpoint schema version; bumped when the on-disk layout changes.
-CHECKPOINT_VERSION = 1
+#: v2: a top-level "workloads" section embeds custom model/board
+#: definitions, which resumes depend on.
+CHECKPOINT_VERSION = 2
 
 #: Cell lifecycle states as stored in the checkpoint.
 CELL_PENDING, CELL_RUNNING, CELL_DONE = "pending", "running", "done"
@@ -159,16 +160,12 @@ class CampaignCell:
         for key in ("model", "board"):
             if not isinstance(data.get(key), str) or not data[key].strip():
                 raise CampaignError(f"campaign cell needs a non-empty {key!r} name")
-        model = data["model"].strip().lower()
-        board = data["board"].strip().lower()
-        if model not in available_models():
-            raise CampaignError(
-                f"unknown model {model!r}; available: {available_models()}"
-            )
-        if board not in available_boards():
-            raise CampaignError(
-                f"unknown board {board!r}; available: {available_boards()}"
-            )
+        # Resolve through the workload registry, so cells accept custom
+        # models/boards (and the paper's abbreviations). Unknown names raise
+        # UnknownWorkloadError — still an MCCMError, but with suggestions,
+        # and the service maps it to a 404.
+        model = REGISTRY.canonical_model_name(data["model"])
+        board = REGISTRY.canonical_board_name(data["board"])
         ce_counts = data.get("ce_counts")
         if ce_counts is not None:
             if (
@@ -638,6 +635,9 @@ class Campaign:
                 f"checkpoint {path} has version {data.get('version')!r}, "
                 f"this build reads {CHECKPOINT_VERSION}"
             )
+        # Custom workloads must be back in the registry *before* the spec
+        # parses, or its cells would fail name resolution.
+        cls._restore_workloads(data.get("workloads") or {})
         stored_spec = CampaignSpec.from_dict(data["spec"])
         if data.get("fingerprint") != stored_spec.fingerprint():
             raise CampaignError(f"checkpoint {path} fingerprint mismatch (corrupt?)")
@@ -666,11 +666,50 @@ class Campaign:
             ) from None
         return campaign
 
+    def _workload_definitions(self) -> Dict[str, Dict[str, Any]]:
+        """Full definitions of every *custom* model/board the spec names.
+
+        Embedding them makes the checkpoint self-contained: a resumed
+        campaign re-registers its workloads before resolving any cell, so a
+        fresh process (which has never seen the user's JSON files) still
+        replays to a byte-identical front.
+        """
+        models: Dict[str, Any] = {}
+        boards: Dict[str, Any] = {}
+        for cell in self.spec.cells:
+            if not REGISTRY.is_builtin_model(cell.model):
+                models[cell.model] = REGISTRY.model_definition(cell.model)
+            if not REGISTRY.is_builtin_board(cell.board):
+                boards[cell.board] = REGISTRY.board_definition(cell.board)
+        return {"models": models, "boards": boards}
+
+    @staticmethod
+    def _restore_workloads(data: Mapping[str, Any]) -> None:
+        """Re-register a checkpoint's embedded workload definitions.
+
+        Identical re-registration is a no-op; a live registration that
+        *differs* from the checkpointed definition is refused — silently
+        replacing either side would break the bit-identical-resume contract.
+        """
+        for kind, register in (
+            ("models", REGISTRY.register_model),
+            ("boards", REGISTRY.register_board),
+        ):
+            for name, definition in (data.get(kind) or {}).items():
+                try:
+                    register(definition, name=name, source="checkpoint")
+                except MCCMError as error:
+                    raise CampaignError(
+                        f"checkpoint embeds {kind[:-1]} {name!r} that cannot "
+                        f"be restored: {error}"
+                    ) from None
+
     def checkpoint_dict(self) -> Dict[str, Any]:
         return {
             "version": CHECKPOINT_VERSION,
             "fingerprint": self.spec.fingerprint(),
             "spec": self.spec.to_dict(),
+            "workloads": self._workload_definitions(),
             "cells": [cell.to_dict() for cell in self.cells],
         }
 
@@ -726,10 +765,8 @@ class Campaign:
                 space_kwargs["ce_counts"] = cell.ce_counts
             if cell.max_pipelined is not None:
                 space_kwargs["max_pipelined"] = cell.max_pipelined
-            from repro.api import resolve_board, resolve_model
-
-            graph = resolve_model(cell.model)
-            board = resolve_board(cell.board)
+            graph = REGISTRY.model(cell.model)
+            board = REGISTRY.board(cell.board, precision=cell.precision)
             space = CustomDesignSpace(graph.conv_specs(), **space_kwargs)
             with DesignEvaluator(
                 graph,

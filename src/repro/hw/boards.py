@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, List
 
-from repro.utils.errors import ResourceError
+from repro.utils.errors import ResourceError, UnknownWorkloadError
 from repro.utils.units import MHZ, gbps_to_bytes_per_cycle, mib_to_bytes
 
 #: Default accelerator clock frequency (Hz).
@@ -101,10 +101,15 @@ PAPER_BOARDS: List[str] = ["zc706", "vcu108", "vcu110", "zcu102"]
 
 
 def get_board(name: str) -> FPGABoard:
-    """Look up a Table II board by (case-insensitive) name."""
+    """Look up a Table II board by (case-insensitive) name.
+
+    Only the paper's boards live here; :mod:`repro.workloads` resolves
+    user-registered boards as well.
+    """
     key = name.strip().lower()
     if key not in BOARDS:
-        raise KeyError(f"unknown board {name!r}; available: {sorted(BOARDS)}")
+        # A KeyError subclass, so historical callers keep working.
+        raise UnknownWorkloadError("board", name, BOARDS)
     return BOARDS[key]
 
 

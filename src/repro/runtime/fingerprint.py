@@ -27,7 +27,9 @@ from repro.hw.boards import FPGABoard
 from repro.hw.datatypes import Precision
 
 #: Bump when CostReport semantics or the cost model change incompatibly.
-CACHE_SCHEMA_VERSION = 1
+#: v2: contexts derive from graph *content* (conv specs), not the model name,
+#: so renamed custom models share cache entries and edited ones never collide.
+CACHE_SCHEMA_VERSION = 2
 
 
 def _spec_payload(spec: ArchitectureSpec) -> Dict[str, Any]:
@@ -47,15 +49,19 @@ def context_payload(
 ) -> Dict[str, Any]:
     """The per-(CNN, board, precision) part of every fingerprint.
 
-    The CNN contributes its name and the full conv-spec list — the only
-    graph information the cost model consumes — so two graphs that cost
-    identically share a context.
+    The CNN contributes only its full conv-spec list — the graph *content*
+    the cost model consumes, never the model's display name. Two
+    registrations of the same graph under different names therefore share
+    every cache entry, and an edited graph re-registered under its old name
+    can never collide with stale cached results.
     """
+    board_payload = asdict(board)
+    # Same rule for boards: the resource budget is content, the name is not.
+    board_payload.pop("name", None)
     return {
         "schema": CACHE_SCHEMA_VERSION,
-        "model": graph.name,
         "conv_specs": [asdict(spec) for spec in graph.conv_specs()],
-        "board": asdict(board),
+        "board": board_payload,
         "precision": asdict(precision),
     }
 

@@ -128,6 +128,36 @@ class ServiceClient:
     def boards(self) -> List[Dict[str, Any]]:
         return self._request("GET", "/boards")["boards"]
 
+    # --- workload registration -----------------------------------------------
+    def register_model(self, model, replace: bool = False) -> Dict[str, Any]:
+        """``POST /models``: register a custom CNN; returns its catalog entry.
+
+        ``model`` is a :class:`~repro.cnn.graph.CNNGraph` or the JSON dict
+        schema of :mod:`repro.cnn.serialize`. Registration lives for the
+        service process; re-registering identical content is idempotent.
+        """
+        from repro.cnn.graph import CNNGraph
+        from repro.cnn.serialize import graph_to_dict
+
+        definition = graph_to_dict(model) if isinstance(model, CNNGraph) else dict(model)
+        return self._request(
+            "POST", "/models", {"model": definition, "replace": replace}
+        )
+
+    def register_board(self, board, replace: bool = False) -> Dict[str, Any]:
+        """``POST /boards``: register a custom board; returns its definition.
+
+        ``board`` is an :class:`~repro.hw.boards.FPGABoard` or the board
+        JSON schema (see ``docs/api.md``).
+        """
+        from repro.hw.boards import FPGABoard
+        from repro.workloads import board_to_dict
+
+        definition = board_to_dict(board) if isinstance(board, FPGABoard) else dict(board)
+        return self._request(
+            "POST", "/boards", {"board": definition, "replace": replace}
+        )
+
     # --- POST endpoints ------------------------------------------------------
     def evaluate(
         self,

@@ -20,25 +20,28 @@ import time
 from typing import Any, Dict, Optional, Tuple, Union
 
 import repro
-from repro.api import resolve_board, resolve_model, sweep
+from repro.api import sweep
 from repro.cnn.stats import collect_stats
 from repro.core.architectures import TEMPLATES, build_template
 from repro.core.cost.export import report_to_dict
 from repro.core.notation import ArchitectureSpec, parse_notation
 from repro.dse import CustomDesignSpace, DesignEvaluator, random_search
 from repro.dse.campaign import Campaign
-from repro.hw.boards import BOARDS, available_boards
 from repro.hw.datatypes import Precision
 from repro.runtime import BatchEvaluator, RunStats
+from repro.runtime.fingerprint import context_fingerprint
 from repro.service.schema import (
+    BoardRegisterRequest,
     CampaignRequest,
     DseRequest,
     EvaluateRequest,
+    ModelRegisterRequest,
     RequestError,
     SweepRequest,
     precision_to_dict,
 )
 from repro.utils.errors import ResourceError
+from repro.workloads import REGISTRY
 
 Response = Tuple[int, Dict[str, Any]]
 
@@ -51,6 +54,12 @@ MAX_RETAINED_CAMPAIGNS = 32
 #: with its own per-cell evaluator, so the per-request budget cap alone
 #: would not protect the host from a client looping ``POST /campaign``.
 MAX_RUNNING_CAMPAIGNS = 4
+
+#: Evaluation contexts kept warm at once. Contexts are content-keyed, so a
+#: client iterating on a registered model (each edit is a new fingerprint)
+#: would otherwise grow the evaluator map — and its caches — forever; the
+#: least-recently-used context beyond this cap is closed and dropped.
+MAX_EVALUATOR_CONTEXTS = 32
 
 
 class CampaignJob:
@@ -139,15 +148,20 @@ class ServiceState:
         self.segment_cache_entries = segment_cache_entries
         self.started = time.time()
         self._registry_lock = threading.Lock()
-        #: canonical (model, board, weights, activations) context key ->
-        #: (evaluator, per-evaluator evaluation lock)
-        self._evaluators: Dict[
-            Tuple[str, str, str, str], Tuple[BatchEvaluator, threading.Lock]
-        ] = {}
+        #: runtime context fingerprint (graph content + board + precision)
+        #: -> (evaluator, per-evaluator evaluation lock). Content-keyed, so
+        #: two names for the same registered graph share one warm evaluator,
+        #: while a re-registered (edited) graph gets a fresh context.
+        self._evaluators: Dict[str, Tuple[BatchEvaluator, threading.Lock]] = {}
         self._counter_lock = threading.Lock()
         self.request_counts: Dict[str, int] = {}
         self.error_count = 0
+        #: Cached GET /models catalog plus the registry generation it was
+        #: built against; ``model_catalog()`` rebuilds it whenever a model
+        #: registration moves the generation.
+        self._catalog_lock = threading.Lock()
         self._model_catalog: Optional[list] = None
+        self._catalog_generation: Optional[int] = None
         #: id -> background campaign job (POST /campaign, GET /campaign/<id>).
         self._campaign_lock = threading.Lock()
         self._campaigns: Dict[str, CampaignJob] = {}
@@ -191,6 +205,42 @@ class ServiceState:
         with self._campaign_lock:
             return list(self._campaigns.values())
 
+    # --- workload catalog ----------------------------------------------------
+    def model_catalog(self) -> list:
+        """The ``GET /models`` catalog, tracking live registry state.
+
+        Cached against the workload registry's generation counter: a model
+        registered through ``POST /models`` (or the Python API in an
+        embedded service) bumps the generation, so the next request rebuilds
+        the catalog instead of serving a stale listing.
+        """
+        generation = REGISTRY.generation
+        with self._catalog_lock:
+            if (
+                self._model_catalog is not None
+                and self._catalog_generation == generation
+            ):
+                return self._model_catalog
+        # Build outside the lock: racing requests may duplicate the work,
+        # but never block each other behind graph construction.
+        catalog = []
+        for name in REGISTRY.model_names():
+            stats = collect_stats(REGISTRY.model(name))
+            catalog.append(
+                {
+                    "name": name,
+                    "display_name": stats.name,
+                    "conv_layers": stats.conv_layer_count,
+                    "gmacs": round(stats.gmacs, 3),
+                    "weights_millions": round(stats.weights_millions, 3),
+                    "custom": not REGISTRY.is_builtin_model(name),
+                }
+            )
+        with self._catalog_lock:
+            self._model_catalog = catalog
+            self._catalog_generation = generation
+        return catalog
+
     # --- evaluator registry --------------------------------------------------
     def evaluator_for(
         self, model: str, board: str, precision: Precision
@@ -201,16 +251,23 @@ class ServiceState:
         ``last_run``), so callers must hold the returned lock around any
         evaluation; contexts are independent, so requests for different
         (model, board, precision) triples still run concurrently.
+
+        Names resolve through the workload registry and the evaluator map
+        is keyed by the runtime's *content-derived* context fingerprint —
+        the same path every other layer uses.
         """
-        key = (model, board, precision.weights.name, precision.activations.name)
+        graph = REGISTRY.model(model)
+        fpga = REGISTRY.board(board, precision=precision)
+        key = context_fingerprint(graph, fpga, precision)
+        evicted = []
         with self._registry_lock:
-            entry = self._evaluators.get(key)
+            entry = self._evaluators.pop(key, None)
             if entry is None:
-                # Graph construction is lru-cached by the zoo, so building
+                # Graph construction is cached by the registry, so building
                 # the evaluator here is the only per-context cost.
                 evaluator = BatchEvaluator(
-                    resolve_model(model),
-                    resolve_board(board),
+                    graph,
+                    fpga,
                     precision,
                     jobs=self.jobs,
                     cache_entries=self.cache_entries,
@@ -218,7 +275,19 @@ class ServiceState:
                     segment_cache_entries=self.segment_cache_entries,
                 )
                 entry = (evaluator, threading.Lock())
-                self._evaluators[key] = entry
+            # Re-insert at the end: the dict doubles as LRU order, so
+            # re-registered (content-edited) workloads eventually push
+            # their stale contexts out instead of leaking them.
+            self._evaluators[key] = entry
+            while len(self._evaluators) > MAX_EVALUATOR_CONTEXTS:
+                evicted.append(self._evaluators.pop(next(iter(self._evaluators))))
+        for stale_evaluator, stale_lock in evicted:
+            # Close outside the registry lock; taking the per-evaluator lock
+            # waits out any request still using it (requests never acquire
+            # the registry lock while holding an evaluator lock, so this
+            # cannot deadlock).
+            with stale_lock:
+                stale_evaluator.close()
         return entry
 
     def runtime_totals(self) -> RunStats:
@@ -310,40 +379,55 @@ def handle_healthz(state: ServiceState) -> Response:
 
 
 def handle_models(state: ServiceState) -> Response:
-    if state._model_catalog is None:
-        catalog = []
-        for name in sorted(repro.available_models()):
-            stats = collect_stats(resolve_model(name))
-            catalog.append(
-                {
-                    "name": name,
-                    "display_name": stats.name,
-                    "conv_layers": stats.conv_layer_count,
-                    "gmacs": round(stats.gmacs, 3),
-                    "weights_millions": round(stats.weights_millions, 3),
-                }
-            )
-        state._model_catalog = catalog
-    return 200, {"models": state._model_catalog}
+    return 200, {"models": state.model_catalog()}
 
 
 def handle_boards(state: ServiceState) -> Response:
     boards = []
-    for name in available_boards():
-        board = BOARDS[name]
-        boards.append(
-            {
-                "name": name,
-                "dsp_count": board.dsp_count,
-                "bram_bytes": board.bram_bytes,
-                "bandwidth_gbps": board.bandwidth_gbps,
-                "clock_hz": board.clock_hz,
-            }
-        )
+    for name in REGISTRY.board_names():
+        definition = REGISTRY.board_definition(name)
+        definition["custom"] = not REGISTRY.is_builtin_board(name)
+        boards.append(definition)
     return 200, {"boards": boards}
 
 
 # --- POST endpoints -----------------------------------------------------------
+
+
+def handle_model_register(
+    state: ServiceState, request: ModelRegisterRequest
+) -> Response:
+    """``POST /models``: register a user-defined CNN with the live registry.
+
+    Registration is in-memory for the service's lifetime (persistent
+    registration belongs to ``repro models register`` on the host).
+    Conflicts surface as 409 ``workload_conflict``; malformed graphs as
+    400 ``shape_error``. Returns 201 with the catalog entry.
+    """
+    name = REGISTRY.register_model(
+        request.definition, replace=request.replace, source="http"
+    )
+    stats = collect_stats(REGISTRY.model(name))
+    return 201, {
+        "name": name,
+        "display_name": stats.name,
+        "conv_layers": stats.conv_layer_count,
+        "gmacs": round(stats.gmacs, 3),
+        "weights_millions": round(stats.weights_millions, 3),
+        "custom": True,
+    }
+
+
+def handle_board_register(
+    state: ServiceState, request: BoardRegisterRequest
+) -> Response:
+    """``POST /boards``: register a user-defined FPGA board (in-memory)."""
+    name = REGISTRY.register_board(
+        request.definition, replace=request.replace, source="http"
+    )
+    definition = REGISTRY.board_definition(name)
+    definition["custom"] = True
+    return 201, definition
 
 
 def handle_evaluate(state: ServiceState, request: EvaluateRequest) -> Response:

@@ -20,9 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
 
-from repro.cnn.zoo import available_models
 from repro.dse.campaign import CampaignError, CampaignSpec
-from repro.hw.boards import available_boards
 from repro.hw.datatypes import (
     DEFAULT_PRECISION,
     Precision,
@@ -34,9 +32,13 @@ from repro.utils.errors import (
     NotationError,
     ResourceError,
     ShapeError,
+    UnknownWorkloadError,
     ValidationError,
+    WorkloadConflictError,
+    WorkloadError,
     reject_unknown_fields,
 )
+from repro.workloads import REGISTRY
 
 #: Cost metrics accepted by ``POST /dse`` (mirrors the CLI's ``--cost``).
 DSE_COST_METRICS = ("buffers", "access")
@@ -51,12 +53,24 @@ MAX_CAMPAIGN_BUDGET = 100_000
 
 
 class RequestError(MCCMError):
-    """A request failed validation; carries the HTTP status and error kind."""
+    """A request failed validation; carries the HTTP status and error kind.
 
-    def __init__(self, message: str, *, status: int = 400, kind: str = "bad_request"):
+    ``extra`` (optional) merges additional structured fields — e.g. a
+    did-you-mean ``suggestion`` — into the typed error payload.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: int = 400,
+        kind: str = "bad_request",
+        extra: Optional[Dict[str, Any]] = None,
+    ):
         super().__init__(message)
         self.status = status
         self.kind = kind
+        self.extra = extra
 
 
 #: MCCMError subclass -> (HTTP status, machine-readable kind). Order matters:
@@ -68,6 +82,11 @@ _ERROR_MAP: Tuple[Tuple[type, Tuple[int, str]], ...] = (
     (ShapeError, (400, "shape_error")),
     (ValidationError, (400, "validation_error")),
     (ResourceError, (422, "resource_error")),
+    # Workload-registry errors: unknown names are 404s (with suggestions in
+    # the payload), registration collisions are 409s, schema problems 400s.
+    (UnknownWorkloadError, (404, "unknown_workload")),
+    (WorkloadConflictError, (409, "workload_conflict")),
+    (WorkloadError, (400, "workload_error")),
     (MCCMError, (400, "mccm_error")),
 )
 
@@ -85,13 +104,19 @@ def classify_error(error: BaseException) -> Tuple[int, str]:
 def error_payload(error: BaseException) -> Dict[str, Any]:
     """The JSON body sent alongside a non-2xx status."""
     _status, kind = classify_error(error)
-    return {
-        "error": {
-            "kind": kind,
-            "type": type(error).__name__,
-            "message": str(error),
-        }
+    entry: Dict[str, Any] = {
+        "kind": kind,
+        "type": type(error).__name__,
+        "message": str(error),
     }
+    if isinstance(error, UnknownWorkloadError):
+        entry["workload"] = error.workload_kind
+        entry["suggestion"] = error.suggestion
+        entry["available"] = error.available
+    extra = getattr(error, "extra", None)
+    if extra:
+        entry.update(extra)
+    return {"error": entry}
 
 
 # --- field-level validation helpers ------------------------------------------
@@ -136,24 +161,29 @@ def _int_field(
 
 def _model_field(payload: Mapping[str, Any]) -> str:
     name = _string_field(payload, "model").lower()
-    if name not in available_models():
+    try:
+        # Live registry state: a model registered a request ago resolves here.
+        return REGISTRY.canonical_model_name(name)
+    except UnknownWorkloadError as error:
         raise RequestError(
-            f"unknown model {name!r}; available: {available_models()}",
+            str(error),
             status=404,
             kind="unknown_model",
-        )
-    return name
+            extra={"suggestion": error.suggestion, "available": error.available},
+        ) from None
 
 
 def _board_field(payload: Mapping[str, Any]) -> str:
     name = _string_field(payload, "board").lower()
-    if name not in available_boards():
+    try:
+        return REGISTRY.canonical_board_name(name)
+    except UnknownWorkloadError as error:
         raise RequestError(
-            f"unknown board {name!r}; available: {available_boards()}",
+            str(error),
             status=404,
             kind="unknown_board",
-        )
-    return name
+            extra={"suggestion": error.suggestion, "available": error.available},
+        ) from None
 
 
 def parse_precision(value: Any) -> Precision:
@@ -262,6 +292,63 @@ def parse_sweep(payload: Any) -> SweepRequest:
         architectures=architectures,
         ce_counts=_ce_counts_field(body),
         precision=parse_precision(body.get("precision")),
+    )
+
+
+@dataclass(frozen=True)
+class ModelRegisterRequest:
+    """Validated body of ``POST /models``."""
+
+    definition: Dict[str, Any]
+    replace: bool = False
+
+
+@dataclass(frozen=True)
+class BoardRegisterRequest:
+    """Validated body of ``POST /boards``."""
+
+    definition: Dict[str, Any]
+    replace: bool = False
+
+
+def _bool_field(payload: Mapping[str, Any], name: str, default: bool = False) -> bool:
+    value = payload.get(name, default)
+    if not isinstance(value, bool):
+        raise RequestError(f"field {name!r} must be a boolean")
+    return value
+
+
+def parse_model_register(payload: Any) -> ModelRegisterRequest:
+    """``{"model": {...graph schema...}, "replace": false}``.
+
+    The graph schema itself (:mod:`repro.cnn.serialize`) is validated by
+    the registry at registration time; malformed graphs surface as
+    structured 400 ``shape_error`` payloads via the error map.
+    """
+    body = _require_mapping(payload)
+    _reject_unknown(body, ("model", "replace"))
+    definition = body.get("model")
+    if not isinstance(definition, Mapping):
+        raise RequestError(
+            "missing or bad field 'model' (the model JSON object of "
+            "the cnn/serialize schema)"
+        )
+    return ModelRegisterRequest(
+        definition=dict(definition), replace=_bool_field(body, "replace")
+    )
+
+
+def parse_board_register(payload: Any) -> BoardRegisterRequest:
+    """``{"board": {...board schema...}, "replace": false}``."""
+    body = _require_mapping(payload)
+    _reject_unknown(body, ("board", "replace"))
+    definition = body.get("board")
+    if not isinstance(definition, Mapping):
+        raise RequestError(
+            "missing or bad field 'board' (the board JSON object; see docs/api.md)"
+        )
+    return BoardRegisterRequest(
+        definition=dict(definition), replace=_bool_field(body, "replace")
     )
 
 

@@ -53,6 +53,9 @@ ROUTES: Dict[str, Dict[str, Tuple[Optional[Callable], Callable]]] = {
         "/sweep": (schema.parse_sweep, handlers.handle_sweep),
         "/dse": (schema.parse_dse, handlers.handle_dse),
         "/campaign": (schema.parse_campaign, handlers.handle_campaign_start),
+        # Workload registration: GET lists reflect these immediately.
+        "/models": (schema.parse_model_register, handlers.handle_model_register),
+        "/boards": (schema.parse_board_register, handlers.handle_board_register),
     },
 }
 

@@ -43,6 +43,62 @@ class ValidationError(MCCMError):
     """
 
 
+class WorkloadError(MCCMError):
+    """A model or board definition is malformed or cannot be registered.
+
+    Covers JSON schema problems in user-supplied board descriptions (bad
+    field types, unknown precisions) and workload-directory files that fail
+    to load. Graph-structure problems keep raising :class:`ShapeError`.
+    """
+
+
+class WorkloadConflictError(WorkloadError):
+    """A registration collides with an existing model or board.
+
+    Raised when a name is reserved by a built-in entry, or when a custom
+    name is re-registered with *different* content without ``replace=True``
+    (re-registering identical content is an idempotent no-op). The service
+    maps this to HTTP 409.
+    """
+
+
+def closest_name(name, candidates):
+    """The best did-you-mean candidate for a misspelled name, or ``None``."""
+    import difflib
+
+    matches = difflib.get_close_matches(name, list(candidates), n=1, cutoff=0.6)
+    return matches[0] if matches else None
+
+
+class UnknownWorkloadError(WorkloadError, KeyError):
+    """A model or board name is not registered.
+
+    Subclasses :class:`KeyError` so historical ``except KeyError`` callers
+    keep working, while API/CLI layers can catch the library hierarchy.
+    Carries structured fields for typed error payloads:
+
+    * ``workload_kind`` — ``"model"`` or ``"board"``;
+    * ``unknown_name`` — the name that failed to resolve;
+    * ``available`` — the registered names at lookup time;
+    * ``suggestion`` — closest-name match, or ``None``.
+    """
+
+    def __init__(self, workload_kind: str, name: str, available) -> None:
+        self.workload_kind = workload_kind
+        self.unknown_name = name
+        self.available = sorted(available)
+        self.suggestion = closest_name(name, self.available)
+        message = f"unknown {workload_kind} {name!r}"
+        if self.suggestion is not None:
+            message += f"; did you mean {self.suggestion!r}?"
+        message += f" available: {self.available}"
+        super().__init__(message)
+
+    def __str__(self) -> str:
+        # KeyError.__str__ would repr() the message; keep it human-readable.
+        return self.args[0]
+
+
 def reject_unknown_fields(data, allowed, where, error_type=MCCMError) -> None:
     """Raise ``error_type`` if ``data`` carries keys outside ``allowed``.
 

@@ -1,0 +1,628 @@
+"""The process-wide workload registry: models and boards as *data*.
+
+The paper evaluates MCCM on five Table III CNNs and four Table II boards;
+the reproduction originally mirrored that with hard-coded dicts
+(``cnn/zoo/_BUILDERS``, ``hw/boards.BOARDS``). This module turns both into
+registry entries so arbitrary user workloads flow through the whole stack
+— the batch runtime, the caches, DSE campaigns, and the HTTP service —
+without any layer knowing whether a name is built-in or user-defined.
+
+* Built-in zoo models and paper boards are pre-registered (lazily built,
+  never replaceable — their names and abbreviations are reserved).
+* Custom models arrive as :class:`~repro.cnn.graph.CNNGraph` objects, the
+  JSON dict schema of :mod:`repro.cnn.serialize`, or paths to JSON files.
+* Custom boards arrive as :class:`~repro.hw.boards.FPGABoard` objects or a
+  JSON schema validated here (including optional ``supported_precisions``
+  checked against :mod:`repro.hw.datatypes`).
+* Every mutation bumps :meth:`WorkloadRegistry.generation`, which callers
+  (the service's model catalog) use to invalidate derived state.
+* A *workload directory* (``$MCCM_WORKLOAD_DIR``, default
+  ``~/.mccm/workloads``) persists registrations across CLI runs:
+  ``repro models register`` drops canonical JSON there and every CLI
+  invocation loads it back.
+
+Lookups raise :class:`~repro.utils.errors.UnknownWorkloadError` (a
+``KeyError`` subclass carrying did-you-mean suggestions); registration
+conflicts raise :class:`~repro.utils.errors.WorkloadConflictError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.cnn.graph import CNNGraph
+from repro.cnn.serialize import graph_from_dict, graph_to_dict
+from repro.cnn.zoo import ABBREVIATIONS, _BUILDERS
+from repro.cnn.zoo import load_model as _zoo_load
+from repro.hw.boards import BOARDS, DEFAULT_CLOCK_HZ, FPGABoard
+from repro.hw.datatypes import DATATYPES, Precision, get_datatype
+from repro.utils.errors import (
+    MCCMError,
+    UnknownWorkloadError,
+    WorkloadConflictError,
+    WorkloadError,
+    reject_unknown_fields,
+)
+from repro.utils.units import mib_to_bytes
+
+ModelLike = Union[CNNGraph, Mapping[str, Any], str, Path]
+BoardLike = Union[FPGABoard, Mapping[str, Any], str, Path]
+
+#: Registry names double as cache-file and URL path components.
+_NAME_RE = re.compile(r"[a-z0-9][a-z0-9._-]*\Z")
+
+#: Environment override for the persistent workload directory.
+WORKLOAD_DIR_ENV = "MCCM_WORKLOAD_DIR"
+
+
+def _normalize_name(name: str, kind: str) -> str:
+    key = str(name).strip().lower()
+    if not _NAME_RE.match(key):
+        raise WorkloadError(
+            f"bad {kind} name {name!r}: names must be lowercase alphanumerics "
+            "plus '._-' (they become cache keys, file names, and URL payloads)"
+        )
+    return key
+
+
+def _digest(definition: Mapping[str, Any]) -> str:
+    canonical = json.dumps(definition, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# --- the board JSON schema ----------------------------------------------------
+
+_BOARD_FIELDS = (
+    "name",
+    "dsp_count",
+    "bram_bytes",
+    "bram_mib",
+    "bandwidth_gbps",
+    "clock_hz",
+    "clock_mhz",
+    "supported_precisions",
+)
+
+
+def _positive_number(data: Mapping[str, Any], key: str, *, integer: bool = False):
+    value = data.get(key)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise WorkloadError(f"board field {key!r} must be a number, got {value!r}")
+    if integer and not isinstance(value, int):
+        raise WorkloadError(f"board field {key!r} must be an integer, got {value!r}")
+    if value <= 0:
+        raise WorkloadError(f"board field {key!r} must be positive, got {value!r}")
+    return value
+
+
+def board_from_dict(data: Mapping[str, Any]) -> Tuple[FPGABoard, Optional[Tuple[str, ...]]]:
+    """Validate the board JSON schema into ``(board, supported_precisions)``.
+
+    Exactly one of ``bram_bytes`` / ``bram_mib`` and at most one of
+    ``clock_hz`` / ``clock_mhz`` (default 200 MHz) may be given.
+    ``supported_precisions`` names are validated against
+    :data:`repro.hw.datatypes.DATATYPES`; ``None`` means "no restriction".
+    """
+    if not isinstance(data, Mapping):
+        raise WorkloadError(
+            f"board definition must be a JSON object, got {type(data).__name__}"
+        )
+    reject_unknown_fields(data, _BOARD_FIELDS, "board definition", WorkloadError)
+    name = data.get("name")
+    if not isinstance(name, str) or not name.strip():
+        raise WorkloadError("board definition needs a non-empty 'name'")
+    dsp_count = _positive_number(data, "dsp_count", integer=True)
+    if ("bram_bytes" in data) == ("bram_mib" in data):
+        raise WorkloadError(
+            "board definition needs exactly one of 'bram_bytes' or 'bram_mib'"
+        )
+    if "bram_bytes" in data:
+        bram_bytes = _positive_number(data, "bram_bytes", integer=True)
+    else:
+        bram_bytes = mib_to_bytes(_positive_number(data, "bram_mib"))
+    bandwidth = _positive_number(data, "bandwidth_gbps")
+    if "clock_hz" in data and "clock_mhz" in data:
+        raise WorkloadError("give 'clock_hz' or 'clock_mhz', not both")
+    if "clock_hz" in data:
+        clock_hz = _positive_number(data, "clock_hz")
+    elif "clock_mhz" in data:
+        clock_hz = _positive_number(data, "clock_mhz") * 1e6
+    else:
+        clock_hz = DEFAULT_CLOCK_HZ
+    precisions = data.get("supported_precisions")
+    if precisions is not None:
+        if not isinstance(precisions, (list, tuple)) or not precisions:
+            raise WorkloadError(
+                "board 'supported_precisions' must be a non-empty list of "
+                f"datatype names from {sorted(DATATYPES)}"
+            )
+        seen: List[str] = []
+        for entry in precisions:
+            if not isinstance(entry, str):
+                raise WorkloadError(
+                    f"board 'supported_precisions' entries must be datatype "
+                    f"name strings, got {entry!r}"
+                )
+            try:
+                datatype = get_datatype(entry)
+            except KeyError:
+                raise WorkloadError(
+                    f"board 'supported_precisions' names unknown datatype "
+                    f"{entry!r}; available: {sorted(DATATYPES)}"
+                ) from None
+            if datatype.name not in seen:
+                seen.append(datatype.name)
+        precisions = tuple(seen)
+    board = FPGABoard(
+        name=str(name).strip(),
+        dsp_count=dsp_count,
+        bram_bytes=bram_bytes,
+        bandwidth_gbps=float(bandwidth),
+        clock_hz=float(clock_hz),
+    )
+    return board, precisions
+
+
+def board_to_dict(
+    board: FPGABoard, supported_precisions: Optional[Tuple[str, ...]] = None
+) -> Dict[str, Any]:
+    """The canonical JSON form of a board (inverse of :func:`board_from_dict`)."""
+    payload: Dict[str, Any] = {
+        "name": board.name,
+        "dsp_count": board.dsp_count,
+        "bram_bytes": board.bram_bytes,
+        "bandwidth_gbps": board.bandwidth_gbps,
+        "clock_hz": board.clock_hz,
+    }
+    if supported_precisions is not None:
+        payload["supported_precisions"] = list(supported_precisions)
+    return payload
+
+
+# --- registry records ---------------------------------------------------------
+
+
+@dataclass
+class _ModelRecord:
+    name: str
+    builtin: bool
+    source: str
+    loader: Callable[[], CNNGraph]
+    graph: Optional[CNNGraph] = None
+    definition: Optional[Dict[str, Any]] = None
+
+    def load(self) -> CNNGraph:
+        if self.graph is None:
+            self.graph = self.loader()
+        return self.graph
+
+    def define(self) -> Dict[str, Any]:
+        if self.definition is None:
+            self.definition = graph_to_dict(self.load())
+        return self.definition
+
+
+@dataclass
+class _BoardRecord:
+    name: str
+    builtin: bool
+    source: str
+    board: FPGABoard
+    supported_precisions: Optional[Tuple[str, ...]] = None
+
+    def define(self) -> Dict[str, Any]:
+        return board_to_dict(self.board, self.supported_precisions)
+
+
+def _read_json_file(path: Union[str, Path], kind: str) -> Dict[str, Any]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as error:
+        raise WorkloadError(f"cannot read {kind} file {path}: {error}") from None
+    except json.JSONDecodeError as error:
+        raise WorkloadError(f"{kind} file {path} is not valid JSON: {error}") from None
+    if not isinstance(data, dict):
+        raise WorkloadError(
+            f"{kind} file {path} must hold a JSON object, got {type(data).__name__}"
+        )
+    return data
+
+
+class WorkloadRegistry:
+    """Thread-safe model/board resolution for the entire system.
+
+    One process-wide instance (:data:`REGISTRY`) backs the Python API, the
+    CLI, the HTTP service, and DSE campaigns; fresh instances exist for
+    tests. ``include_builtins=True`` (default) pre-registers the zoo models
+    (with the paper's abbreviations as aliases) and the Table II boards.
+    """
+
+    def __init__(self, include_builtins: bool = True) -> None:
+        self._lock = threading.RLock()
+        self._models: Dict[str, _ModelRecord] = {}
+        self._boards: Dict[str, _BoardRecord] = {}
+        self._model_aliases: Dict[str, str] = {}
+        self._generation = 0
+        if include_builtins:
+            for name, builder in _BUILDERS.items():
+                self._models[name] = _ModelRecord(
+                    name=name,
+                    builtin=True,
+                    source="zoo",
+                    # Bind through the zoo's lru-cached loader so the
+                    # registry and direct zoo users share graph objects.
+                    loader=(lambda key=name: _zoo_load(key)),
+                )
+            self._model_aliases.update(ABBREVIATIONS)
+            for name, board in BOARDS.items():
+                self._boards[name] = _BoardRecord(
+                    name=name, builtin=True, source="paper", board=board
+                )
+
+    # --- bookkeeping ---------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """Mutation counter: bumped on every (re)registration or removal.
+
+        Derived state (the service's model catalog) caches against this and
+        rebuilds when it moves.
+        """
+        with self._lock:
+            return self._generation
+
+    def _bump(self) -> None:
+        self._generation += 1
+
+    # --- model resolution -----------------------------------------------------
+    def _canonical_model_key(self, name: str) -> str:
+        key = str(name).strip().lower()
+        return self._model_aliases.get(key, key)
+
+    def canonical_model_name(self, name: str) -> str:
+        """Resolve a name or paper abbreviation to its canonical form."""
+        with self._lock:
+            key = self._canonical_model_key(name)
+            if key not in self._models:
+                raise UnknownWorkloadError("model", name, self._models)
+            return key
+
+    def has_model(self, name: str) -> bool:
+        with self._lock:
+            return self._canonical_model_key(name) in self._models
+
+    def model(self, name: str) -> CNNGraph:
+        """Build (or fetch the cached) model graph by name or abbreviation."""
+        with self._lock:
+            record = self._models.get(self._canonical_model_key(name))
+            if record is None:
+                raise UnknownWorkloadError("model", name, self._models)
+            return record.load()
+
+    def model_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._models)
+
+    def model_definition(self, name: str) -> Dict[str, Any]:
+        """The JSON dict schema of a registered model (built-in or custom)."""
+        with self._lock:
+            record = self._models.get(self._canonical_model_key(name))
+            if record is None:
+                raise UnknownWorkloadError("model", name, self._models)
+            return record.define()
+
+    def is_builtin_model(self, name: str) -> bool:
+        with self._lock:
+            record = self._models.get(self._canonical_model_key(name))
+            if record is None:
+                raise UnknownWorkloadError("model", name, self._models)
+            return record.builtin
+
+    def model_source(self, name: str) -> str:
+        with self._lock:
+            record = self._models.get(self._canonical_model_key(name))
+            if record is None:
+                raise UnknownWorkloadError("model", name, self._models)
+            return record.source
+
+    def custom_models(self) -> Dict[str, Dict[str, Any]]:
+        """``name -> definition`` for every non-builtin model (checkpoints)."""
+        with self._lock:
+            return {
+                name: record.define()
+                for name, record in sorted(self._models.items())
+                if not record.builtin
+            }
+
+    # --- model registration ---------------------------------------------------
+    def register_model(
+        self,
+        model: ModelLike,
+        *,
+        name: Optional[str] = None,
+        replace: bool = False,
+        source: str = "api",
+    ) -> str:
+        """Register a user-defined CNN; returns its canonical registry name.
+
+        ``model`` may be a built :class:`CNNGraph`, the JSON dict schema of
+        :mod:`repro.cnn.serialize`, or a path to a JSON file. ``name``
+        overrides the graph's own name as the registry key. Re-registering
+        identical content is an idempotent no-op; different content under an
+        existing name needs ``replace=True``; built-in names (and the
+        paper's abbreviations) are always reserved.
+        """
+        if isinstance(model, CNNGraph):
+            graph = model
+            definition = graph_to_dict(graph)
+        else:
+            if isinstance(model, (str, Path)):
+                data: Mapping[str, Any] = _read_json_file(model, "model")
+                if source == "api":
+                    source = str(model)
+            elif isinstance(model, Mapping):
+                data = model
+            else:
+                raise WorkloadError(
+                    "register_model accepts a CNNGraph, a model-schema dict, "
+                    f"or a JSON file path, got {type(model).__name__}"
+                )
+            graph = graph_from_dict(dict(data))
+            # Canonicalize through the round-trip so the stored definition
+            # (and its digest) never depends on user key order or defaults.
+            definition = graph_to_dict(graph)
+        key = _normalize_name(name if name is not None else graph.name, "model")
+        with self._lock:
+            if key in self._model_aliases:
+                raise WorkloadConflictError(
+                    f"model name {key!r} is reserved (paper abbreviation for "
+                    f"{self._model_aliases[key]!r})"
+                )
+            existing = self._models.get(key)
+            if existing is not None:
+                if existing.builtin:
+                    raise WorkloadConflictError(
+                        f"model name {key!r} is reserved by the built-in zoo"
+                    )
+                if _digest(existing.define()) == _digest(definition):
+                    return key  # idempotent re-registration
+                if not replace:
+                    raise WorkloadConflictError(
+                        f"model {key!r} is already registered with different "
+                        "content; pass replace=True to overwrite it"
+                    )
+            self._models[key] = _ModelRecord(
+                name=key,
+                builtin=False,
+                source=source,
+                loader=lambda: graph,
+                graph=graph,
+                definition=definition,
+            )
+            self._bump()
+        return key
+
+    def unregister_model(self, name: str) -> None:
+        """Remove a custom model (built-ins cannot be removed)."""
+        with self._lock:
+            key = self._canonical_model_key(name)
+            record = self._models.get(key)
+            if record is None:
+                raise UnknownWorkloadError("model", name, self._models)
+            if record.builtin:
+                raise WorkloadConflictError(
+                    f"built-in model {key!r} cannot be unregistered"
+                )
+            del self._models[key]
+            self._bump()
+
+    # --- board resolution -----------------------------------------------------
+    def has_board(self, name: str) -> bool:
+        with self._lock:
+            return str(name).strip().lower() in self._boards
+
+    def canonical_board_name(self, name: str) -> str:
+        with self._lock:
+            key = str(name).strip().lower()
+            if key not in self._boards:
+                raise UnknownWorkloadError("board", name, self._boards)
+            return key
+
+    def board(self, name: str, *, precision: Optional[Precision] = None) -> FPGABoard:
+        """Look up a board; optionally enforce its precision restriction.
+
+        A registered board may declare ``supported_precisions``; passing the
+        request's :class:`Precision` here rejects unsupported datatypes with
+        a :class:`WorkloadError` before any evaluation work happens.
+        """
+        with self._lock:
+            record = self._boards.get(str(name).strip().lower())
+            if record is None:
+                raise UnknownWorkloadError("board", name, self._boards)
+            if precision is not None and record.supported_precisions is not None:
+                supported = set(record.supported_precisions)
+                for role in ("weights", "activations"):
+                    datatype = getattr(precision, role)
+                    if datatype.name not in supported:
+                        raise WorkloadError(
+                            f"board {record.name!r} does not support {role} "
+                            f"datatype {datatype.name!r}; supported: "
+                            f"{sorted(supported)}"
+                        )
+            return record.board
+
+    def board_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._boards)
+
+    def board_definition(self, name: str) -> Dict[str, Any]:
+        with self._lock:
+            record = self._boards.get(str(name).strip().lower())
+            if record is None:
+                raise UnknownWorkloadError("board", name, self._boards)
+            return record.define()
+
+    def is_builtin_board(self, name: str) -> bool:
+        with self._lock:
+            record = self._boards.get(str(name).strip().lower())
+            if record is None:
+                raise UnknownWorkloadError("board", name, self._boards)
+            return record.builtin
+
+    def custom_boards(self) -> Dict[str, Dict[str, Any]]:
+        """``name -> definition`` for every non-builtin board (checkpoints)."""
+        with self._lock:
+            return {
+                name: record.define()
+                for name, record in sorted(self._boards.items())
+                if not record.builtin
+            }
+
+    # --- board registration ---------------------------------------------------
+    def register_board(
+        self,
+        board: BoardLike,
+        *,
+        name: Optional[str] = None,
+        replace: bool = False,
+        source: str = "api",
+    ) -> str:
+        """Register a user-defined board; returns its canonical name.
+
+        ``board`` may be an :class:`FPGABoard`, the JSON schema validated by
+        :func:`board_from_dict`, or a path to a JSON file. Conflict rules
+        match :meth:`register_model`.
+        """
+        precisions: Optional[Tuple[str, ...]] = None
+        if isinstance(board, FPGABoard):
+            parsed = board
+        else:
+            if isinstance(board, (str, Path)):
+                data: Mapping[str, Any] = _read_json_file(board, "board")
+                if source == "api":
+                    source = str(board)
+            elif isinstance(board, Mapping):
+                data = board
+            else:
+                raise WorkloadError(
+                    "register_board accepts an FPGABoard, a board-schema "
+                    f"dict, or a JSON file path, got {type(board).__name__}"
+                )
+            parsed, precisions = board_from_dict(data)
+        key = _normalize_name(name if name is not None else parsed.name, "board")
+        definition = board_to_dict(parsed, precisions)
+        with self._lock:
+            existing = self._boards.get(key)
+            if existing is not None:
+                if existing.builtin:
+                    raise WorkloadConflictError(
+                        f"board name {key!r} is reserved by the paper's Table II"
+                    )
+                if _digest(existing.define()) == _digest(definition):
+                    return key
+                if not replace:
+                    raise WorkloadConflictError(
+                        f"board {key!r} is already registered with different "
+                        "content; pass replace=True to overwrite it"
+                    )
+            self._boards[key] = _BoardRecord(
+                name=key,
+                builtin=False,
+                source=source,
+                board=parsed,
+                supported_precisions=precisions,
+            )
+            self._bump()
+        return key
+
+    def unregister_board(self, name: str) -> None:
+        """Remove a custom board (built-ins cannot be removed)."""
+        with self._lock:
+            key = str(name).strip().lower()
+            record = self._boards.get(key)
+            if record is None:
+                raise UnknownWorkloadError("board", name, self._boards)
+            if record.builtin:
+                raise WorkloadConflictError(
+                    f"built-in board {key!r} cannot be unregistered"
+                )
+            del self._boards[key]
+            self._bump()
+
+    # --- the persistent workload directory ------------------------------------
+    def load_directory(self, path: Union[str, Path]) -> List[str]:
+        """Register every ``models/*.json`` and ``boards/*.json`` under ``path``.
+
+        Missing directories are a no-op. Files are loaded in sorted order
+        with ``replace=True`` (the directory is the source of truth for the
+        names it holds); a malformed file raises :class:`WorkloadError`
+        naming it, so users know exactly what to fix or delete.
+        """
+        root = Path(path)
+        registered: List[str] = []
+        for subdir, register in (
+            ("models", self.register_model),
+            ("boards", self.register_board),
+        ):
+            folder = root / subdir
+            if not folder.is_dir():
+                continue
+            for file in sorted(folder.glob("*.json")):
+                try:
+                    registered.append(register(file, replace=True, source=str(file)))
+                except WorkloadConflictError:
+                    raise
+                except MCCMError as error:
+                    raise WorkloadError(
+                        f"workload directory entry {file} failed to load: {error}"
+                    ) from None
+        return registered
+
+
+#: The process-wide registry every front-end shares.
+REGISTRY = WorkloadRegistry()
+
+
+def default_workload_dir() -> Path:
+    """``$MCCM_WORKLOAD_DIR`` or ``~/.mccm/workloads``."""
+    override = os.environ.get(WORKLOAD_DIR_ENV)
+    if override:
+        return Path(override)
+    return Path.home() / ".mccm" / "workloads"
+
+
+def load_workload_dir(
+    path: Optional[Union[str, Path]] = None, *, registry: Optional[WorkloadRegistry] = None
+) -> List[str]:
+    """Load the persistent workload directory into the (global) registry."""
+    target = registry if registry is not None else REGISTRY
+    return target.load_directory(path if path is not None else default_workload_dir())
+
+
+def save_workload(
+    kind: str,
+    name: str,
+    definition: Mapping[str, Any],
+    path: Optional[Union[str, Path]] = None,
+) -> Path:
+    """Persist one canonical definition as ``<dir>/<kind>s/<name>.json``."""
+    if kind not in ("model", "board"):
+        raise WorkloadError(f"kind must be 'model' or 'board', got {kind!r}")
+    root = Path(path) if path is not None else default_workload_dir()
+    folder = root / f"{kind}s"
+    try:
+        folder.mkdir(parents=True, exist_ok=True)
+        target = folder / f"{name}.json"
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(definition, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    except OSError as error:
+        raise WorkloadError(f"cannot save {kind} {name!r} to {root}: {error}") from None
+    return target

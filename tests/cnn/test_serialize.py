@@ -10,7 +10,7 @@ from repro.cnn.serialize import (
     graph_to_dict,
     graph_to_json,
 )
-from repro.cnn.zoo import PAPER_MODELS, load_model
+from repro.cnn.zoo import PAPER_MODELS, available_models, load_model
 from repro.utils.errors import ShapeError
 
 
@@ -22,6 +22,21 @@ def test_round_trip_preserves_structure(name):
     assert clone.num_conv_layers == graph.num_conv_layers
     assert clone.total_weights == graph.total_weights
     assert clone.conv_macs == graph.conv_macs
+
+
+@pytest.mark.parametrize("name", available_models())
+def test_round_trip_cost_report_bit_identical(name):
+    """The JSON round-trip is lossless *for the cost model*: a rebuilt graph
+    produces a bit-identical CostReport on a paper board for every zoo model
+    (the contract custom-model registration rides on)."""
+    from repro.api import evaluate
+    from repro.core.cost.export import report_to_dict
+
+    graph = load_model(name)
+    clone = graph_from_dict(graph_to_dict(graph))
+    original = evaluate(graph, "zc706", "segmentedrr", ce_count=2)
+    rebuilt = evaluate(clone, "zc706", "segmentedrr", ce_count=2)
+    assert report_to_dict(rebuilt) == report_to_dict(original)
 
 
 def test_round_trip_preserves_conv_specs(tiny_cnn):

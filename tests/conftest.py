@@ -10,6 +10,18 @@ from repro.hw.boards import FPGABoard, get_board
 from repro.hw.datatypes import DEFAULT_PRECISION
 
 
+@pytest.fixture(autouse=True)
+def _isolated_workload_dir(monkeypatch, tmp_path):
+    """Keep every test hermetic w.r.t. the persistent workload directory.
+
+    ``cli.main()`` loads ``$MCCM_WORKLOAD_DIR`` (default
+    ``~/.mccm/workloads``) before every command; without this, files a
+    developer registered on their machine would leak into — or break —
+    unrelated CLI tests.
+    """
+    monkeypatch.setenv("MCCM_WORKLOAD_DIR", str(tmp_path / "mccm-workloads"))
+
+
 def build_tiny_cnn():
     """An 8-conv-layer CNN with one residual add, small enough for fast tests."""
     net = NetBuilder("TinyNet", (32, 32, 3))

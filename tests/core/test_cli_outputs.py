@@ -180,3 +180,138 @@ class TestServeParser:
         assert (args.host, args.port, args.jobs, args.cache) == (
             "0.0.0.0", 9000, 4, "/tmp/c"
         )
+
+
+class TestWorkloadCli:
+    """--model-file/--board-file, models/boards register|list, did-you-mean."""
+
+    @staticmethod
+    def _write_tiny(tmp_path, name="clinet"):
+        from repro.cnn.serialize import graph_to_dict
+        from tests.conftest import build_tiny_cnn
+
+        definition = graph_to_dict(build_tiny_cnn())
+        definition["name"] = name
+        path = tmp_path / f"{name}.json"
+        path.write_text(json.dumps(definition))
+        return path, definition
+
+    @staticmethod
+    def _cleanup():
+        from repro import workloads
+
+        for name in list(workloads.REGISTRY.custom_models()):
+            workloads.unregister_model(name)
+        for name in list(workloads.REGISTRY.custom_boards()):
+            workloads.unregister_board(name)
+
+    def test_model_file_bit_identical_to_registered_name(self, tmp_path, capsys):
+        from repro.cnn.serialize import graph_from_dict
+
+        path, definition = self._write_tiny(tmp_path)
+        try:
+            code = main(
+                ["evaluate", "--model-file", str(path), "--board", BOARD,
+                 "--arch", "segmentedrr", "--ces", "2", "--json"]
+            )
+            assert code == 0
+            rebuilt = report_from_dict(json.loads(capsys.readouterr().out))
+            direct = api_evaluate(
+                graph_from_dict(definition), BOARD, "segmentedrr", ce_count=2
+            )
+            assert rebuilt == direct
+        finally:
+            self._cleanup()
+
+    def test_model_and_model_file_conflict(self, tmp_path, capsys):
+        path, _ = self._write_tiny(tmp_path)
+        try:
+            code = main(
+                ["evaluate", "--model", MODEL, "--model-file", str(path),
+                 "--board", BOARD, "--arch", "segmentedrr", "--ces", "2"]
+            )
+            assert code == 2
+            assert "not both" in capsys.readouterr().err
+        finally:
+            self._cleanup()
+
+    def test_missing_model_selector(self, capsys):
+        code = main(["evaluate", "--board", BOARD, "--arch", "segmentedrr", "--ces", "2"])
+        assert code == 2
+        assert "--model" in capsys.readouterr().err
+
+    def test_register_persists_into_workload_dir(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("MCCM_WORKLOAD_DIR", str(tmp_path / "wl"))
+        path, _ = self._write_tiny(tmp_path)
+        try:
+            code = main(["models", "register", str(path)])
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "registered model 'clinet'" in out
+            saved = tmp_path / "wl" / "models" / "clinet.json"
+            assert saved.is_file()
+
+            # Simulate a fresh process: drop the in-memory registration and
+            # let main()'s workload-directory load restore it.
+            self._cleanup()
+            code = main(
+                ["evaluate", "--model", "clinet", "--board", BOARD,
+                 "--arch", "segmentedrr", "--ces", "2", "--json"]
+            )
+            assert code == 0
+            json.loads(capsys.readouterr().out)
+        finally:
+            self._cleanup()
+
+    def test_board_register_and_board_file(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("MCCM_WORKLOAD_DIR", str(tmp_path / "wl"))
+        board_path = tmp_path / "edge.json"
+        board_path.write_text(json.dumps(
+            {"name": "cliboard", "dsp_count": 900, "bram_mib": 2.4,
+             "bandwidth_gbps": 3.2}
+        ))
+        try:
+            assert main(["boards", "register", str(board_path)]) == 0
+            assert (tmp_path / "wl" / "boards" / "cliboard.json").is_file()
+            capsys.readouterr()
+            # Same budget as zc706: the report must be bit-identical.
+            code = main(
+                ["evaluate", "--model", MODEL, "--board-file", str(board_path),
+                 "--arch", "segmentedrr", "--ces", "2", "--json"]
+            )
+            assert code == 0
+            rebuilt = report_from_dict(json.loads(capsys.readouterr().out))
+            from repro import workloads
+
+            direct = api_evaluate(
+                MODEL, workloads.get_board("cliboard"), "segmentedrr", ce_count=2
+            )
+            assert rebuilt == direct
+            # Same resource budget as zc706: identical metrics (the report
+            # differs only in the embedded board name).
+            reference = api_evaluate(MODEL, BOARD, "segmentedrr", ce_count=2)
+            assert rebuilt.throughput_fps == reference.throughput_fps
+            assert rebuilt.latency_cycles == reference.latency_cycles
+        finally:
+            self._cleanup()
+
+    def test_models_list_shows_custom_entries(self, tmp_path, capsys):
+        path, _ = self._write_tiny(tmp_path)
+        try:
+            assert main(["models", "register", str(path), "--no-save"]) == 0
+            capsys.readouterr()
+            assert main(["models", "list", "--json"]) == 0
+            catalog = json.loads(capsys.readouterr().out)["models"]
+            entry = next(item for item in catalog if item["name"] == "clinet")
+            assert entry["custom"] is True
+        finally:
+            self._cleanup()
+
+    def test_unknown_model_suggestion_in_cli_error(self, capsys):
+        code = main(
+            ["evaluate", "--model", "squeezene", "--board", BOARD,
+             "--arch", "segmentedrr", "--ces", "2"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "did you mean 'squeezenet'" in err

@@ -13,6 +13,7 @@ import random
 import pytest
 
 from repro.core.cost.export import report_to_dict
+from repro.utils.errors import UnknownWorkloadError
 from repro.dse.campaign import (
     Campaign,
     CampaignError,
@@ -151,8 +152,6 @@ class TestSpec:
             {"cost_metric": "latency"},
             {"population": 1},
             {"extra_field": 1},
-            {"cells": [{"model": "nope", "board": "zc706"}]},
-            {"cells": [{"model": "squeezenet", "board": "nope"}]},
             {"cells": [{"model": "squeezenet", "board": "zc706", "ce_counts": [1]}]},
             {"cells": [{"model": "squeezenet", "board": "zc706", "oops": 1}]},
             {"cells": [{"model": "squeezenet", "board": "zc706",
@@ -163,6 +162,19 @@ class TestSpec:
     )
     def test_rejects_bad_specs(self, mutation):
         with pytest.raises(CampaignError):
+            CampaignSpec.from_dict({**SPEC_DICT, **mutation})
+
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            {"cells": [{"model": "nope", "board": "zc706"}]},
+            {"cells": [{"model": "squeezenet", "board": "nope"}]},
+        ],
+    )
+    def test_rejects_unknown_workloads(self, mutation):
+        # Unknown names surface as the registry's typed, suggestion-carrying
+        # error (still an MCCMError, so the CLI keeps exiting 2).
+        with pytest.raises(UnknownWorkloadError):
             CampaignSpec.from_dict({**SPEC_DICT, **mutation})
 
     def test_budget_counts_initial_sample(self, spec):
@@ -314,3 +326,83 @@ class TestDeterminism:
     def test_front_csv_stable(self, reference):
         result, path = reference
         assert result.front_csv() == campaign_status(path).front_csv()
+
+
+class TestCustomWorkloadCampaigns:
+    """Campaign cells accept registered models/boards, and the checkpoint is
+    self-contained: a resume in a fresh process (simulated by wiping the
+    registry) replays to a byte-identical front."""
+
+    CUSTOM_SPEC = {
+        "name": "custom-campaign",
+        "seed": 5,
+        "strategy": "evolve",
+        "population": 6,
+        "generations": 2,
+        "cells": [{"model": "campnet", "board": "campboard"}],
+    }
+
+    @pytest.fixture
+    def custom_workloads(self):
+        from repro import workloads
+        from repro.cnn.serialize import graph_to_dict
+        from tests.conftest import build_tiny_cnn
+
+        definition = graph_to_dict(build_tiny_cnn())
+        definition["name"] = "campnet"
+        workloads.register_model(definition)
+        workloads.register_board(
+            {"name": "campboard", "dsp_count": 512, "bram_mib": 2.0,
+             "bandwidth_gbps": 8.0}
+        )
+        yield workloads
+        for name in list(workloads.REGISTRY.custom_models()):
+            workloads.unregister_model(name)
+        for name in list(workloads.REGISTRY.custom_boards()):
+            workloads.unregister_board(name)
+
+    def test_checkpoint_embeds_custom_definitions(self, custom_workloads, tmp_path):
+        spec = CampaignSpec.from_dict(self.CUSTOM_SPEC)
+        path = tmp_path / "custom.json"
+        run_campaign(spec, path, max_rounds=1)
+        data = json.loads(path.read_text())
+        assert "campnet" in data["workloads"]["models"]
+        assert data["workloads"]["models"]["campnet"]["name"] == "campnet"
+        assert data["workloads"]["boards"]["campboard"]["dsp_count"] == 512
+
+    def test_resume_is_self_contained_and_byte_identical(
+        self, custom_workloads, tmp_path
+    ):
+        spec = CampaignSpec.from_dict(self.CUSTOM_SPEC)
+        reference = run_campaign(spec, tmp_path / "ref.json")
+        interrupted = tmp_path / "interrupted.json"
+        run_campaign(spec, interrupted, max_rounds=1)
+
+        # A fresh process has never seen the user's definitions: wipe them.
+        custom_workloads.unregister_model("campnet")
+        custom_workloads.unregister_board("campboard")
+
+        resumed = resume_campaign(interrupted)
+        assert fronts_of(resumed) == fronts_of(reference)
+        assert resumed.front_csv() == reference.front_csv()
+        # The checkpoint restored the registrations on load.
+        assert custom_workloads.REGISTRY.has_model("campnet")
+        assert custom_workloads.REGISTRY.has_board("campboard")
+
+    def test_resume_refuses_conflicting_live_registration(
+        self, custom_workloads, tmp_path
+    ):
+        from repro.cnn.serialize import graph_to_dict
+        from tests.conftest import build_tiny_cnn
+
+        spec = CampaignSpec.from_dict(self.CUSTOM_SPEC)
+        interrupted = tmp_path / "interrupted.json"
+        run_campaign(spec, interrupted, max_rounds=1)
+
+        # Replace 'campnet' with *different* content, then try to resume.
+        edited = graph_to_dict(build_tiny_cnn())
+        edited["name"] = "campnet"
+        edited["layers"][1]["kernel_size"] = [5, 5]
+        custom_workloads.register_model(edited, replace=True)
+        with pytest.raises(CampaignError):
+            resume_campaign(interrupted)

@@ -120,6 +120,25 @@ class TestErrorPayloads:
         assert excinfo.value.status == status
         assert excinfo.value.kind == kind
 
+    def test_unknown_model_payload_carries_suggestion(self, service):
+        # The typed 404 payload includes the did-you-mean match.
+        request = urllib.request.Request(
+            f"{service.url}/evaluate",
+            method="POST",
+            data=json.dumps(
+                {"model": "squeezene", "board": BOARD,
+                 "architecture": "segmentedrr", "ce_count": 2}
+            ).encode("utf-8"),
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 404
+        payload = json.loads(excinfo.value.read().decode("utf-8"))["error"]
+        assert payload["kind"] == "unknown_model"
+        assert payload["suggestion"] == "squeezenet"
+        assert "squeezenet" in payload["available"]
+
     def test_unknown_endpoint(self, client):
         with pytest.raises(ServiceError) as excinfo:
             client._request("GET", "/teapot")
@@ -327,9 +346,19 @@ class TestCampaign:
 
     def test_bad_spec_rejected(self, client):
         with pytest.raises(ServiceError) as excinfo:
-            client.start_campaign({"cells": [{"model": "nope", "board": BOARD}]})
+            client.start_campaign(
+                {"strategy": "annealing", "cells": [{"model": MODEL, "board": BOARD}]}
+            )
         assert excinfo.value.status == 400
         assert excinfo.value.kind == "campaign_error"
+
+    def test_unknown_cell_model_is_404_with_suggestion(self, client):
+        # Unknown workloads in campaign cells use the registry's typed error.
+        with pytest.raises(ServiceError) as excinfo:
+            client.start_campaign({"cells": [{"model": "resnet5", "board": BOARD}]})
+        assert excinfo.value.status == 404
+        assert excinfo.value.kind == "unknown_workload"
+        assert "did you mean 'resnet50'" in str(excinfo.value)
 
     def test_settled_jobs_are_evicted_beyond_cap(self):
         from repro.dse.campaign import Campaign, CampaignSpec
@@ -426,3 +455,140 @@ class TestLifecycle:
                 service.start()
         finally:
             service.stop()
+
+
+class TestWorkloadRegistration:
+    """POST /models and /boards: live registration through the registry."""
+
+    @pytest.fixture
+    def clean_workloads(self):
+        """Remove every custom registration after the test (global registry)."""
+        from repro import workloads
+
+        yield workloads
+        for name in list(workloads.REGISTRY.custom_models()):
+            workloads.unregister_model(name)
+        for name in list(workloads.REGISTRY.custom_boards()):
+            workloads.unregister_board(name)
+
+    @staticmethod
+    def _definition(name="svcnet"):
+        from repro.cnn.serialize import graph_to_dict
+        from tests.conftest import build_tiny_cnn
+
+        definition = graph_to_dict(build_tiny_cnn())
+        definition["name"] = name
+        return definition
+
+    def test_register_model_evaluate_bit_identical(self, client, clean_workloads):
+        from repro.cnn.serialize import graph_from_dict
+        from repro.core.cost.export import report_to_dict
+
+        definition = self._definition()
+        entry = client.register_model(definition)
+        assert entry["name"] == "svcnet"
+        assert entry["custom"] is True
+        assert entry["conv_layers"] == 8
+        result = client.evaluate("svcnet", BOARD, "segmentedrr", ce_count=2)
+        direct = api_evaluate(
+            graph_from_dict(definition), BOARD, "segmentedrr", ce_count=2
+        )
+        assert result.feasible
+        assert report_to_dict(result.report) == report_to_dict(direct)
+
+    def test_catalog_invalidates_on_registration(self, client, clean_workloads):
+        before = [entry["name"] for entry in client.models()]  # warm the cache
+        assert "svcnet" not in before
+        client.register_model(self._definition())
+        after = {entry["name"]: entry for entry in client.models()}
+        assert after["svcnet"]["custom"] is True
+        assert [name for name in after] == sorted(after)  # still sorted
+
+    def test_reregistration_is_idempotent_conflict_is_409(self, client, clean_workloads):
+        client.register_model(self._definition())
+        client.register_model(self._definition())  # identical: no error
+        edited = self._definition()
+        edited["layers"][1]["kernel_size"] = [5, 5]
+        with pytest.raises(ServiceError) as excinfo:
+            client.register_model(edited)
+        assert excinfo.value.status == 409
+        assert excinfo.value.kind == "workload_conflict"
+        client.register_model(edited, replace=True)  # explicit replace works
+
+    def test_builtin_names_reserved(self, client, clean_workloads):
+        with pytest.raises(ServiceError) as excinfo:
+            client.register_model(self._definition(name=MODEL))
+        assert excinfo.value.status == 409
+
+    def test_malformed_model_is_shape_error(self, client, clean_workloads):
+        with pytest.raises(ServiceError) as excinfo:
+            client.register_model({"name": "broken", "layers": []})
+        assert excinfo.value.status == 400
+        assert excinfo.value.kind == "shape_error"
+
+    def test_register_board_and_evaluate(self, client, clean_workloads):
+        entry = client.register_board(
+            {"name": "svcboard", "dsp_count": 900, "bram_mib": 2.4,
+             "bandwidth_gbps": 3.2}
+        )
+        assert entry["name"] == "svcboard" and entry["custom"] is True
+        listed = {board["name"]: board for board in client.boards()}
+        assert listed["svcboard"]["custom"] is True
+        assert listed[BOARD]["custom"] is False
+        result = client.evaluate(MODEL, "svcboard", "segmentedrr", ce_count=2)
+        # Same resource budget as zc706: the content-keyed evaluator registry
+        # must give bit-identical answers.
+        direct = api_evaluate(MODEL, BOARD, "segmentedrr", ce_count=2)
+        assert result.report == direct
+
+    def test_board_precision_restriction_rejected(self, client, clean_workloads):
+        client.register_board(
+            {"name": "int8board", "dsp_count": 512, "bram_mib": 4.0,
+             "bandwidth_gbps": 8.0, "supported_precisions": ["int8"]}
+        )
+        with pytest.raises(ServiceError) as excinfo:
+            client.evaluate(MODEL, "int8board", "segmentedrr", ce_count=2)
+        assert excinfo.value.status == 400
+        assert excinfo.value.kind == "workload_error"
+        result = client.evaluate(
+            MODEL, "int8board", "segmentedrr", ce_count=2,
+            precision={"weights": "int8", "activations": "int8"},
+        )
+        assert result.feasible
+
+    def test_evaluator_contexts_are_bounded(self, clean_workloads):
+        # Content-keyed contexts would otherwise accumulate across model or
+        # board re-registrations; the service must evict LRU beyond the cap.
+        from repro.service.handlers import MAX_EVALUATOR_CONTEXTS, ServiceState
+        from repro.hw.datatypes import DEFAULT_PRECISION
+
+        clean_workloads.register_model(self._definition())
+        state = ServiceState()
+        try:
+            for index in range(MAX_EVALUATOR_CONTEXTS + 4):
+                clean_workloads.register_board(
+                    {"name": "evictboard", "dsp_count": 256 + index,
+                     "bram_mib": 2.0, "bandwidth_gbps": 8.0},
+                    replace=True,
+                )
+                state.evaluator_for("svcnet", "evictboard", DEFAULT_PRECISION)
+            assert state.evaluator_count == MAX_EVALUATOR_CONTEXTS
+            # The most recent context is still resolvable and warm.
+            evaluator, _lock = state.evaluator_for(
+                "svcnet", "evictboard", DEFAULT_PRECISION
+            )
+            assert evaluator.board.dsp_count == 256 + MAX_EVALUATOR_CONTEXTS + 3
+        finally:
+            state.close()
+
+    def test_campaign_accepts_registered_model(self, client, clean_workloads):
+        client.register_model(self._definition())
+        spec = {
+            "name": "custom-http",
+            "population": 4,
+            "generations": 1,
+            "cells": [{"model": "svcnet", "board": BOARD}],
+        }
+        snapshot = client.wait_campaign(client.start_campaign(spec), timeout=120)
+        assert snapshot["state"] == "done"
+        assert snapshot["campaign"]["cells"][0]["front"]
