@@ -59,6 +59,12 @@ def test_hotpath(results_dir):
         result["fingerprint_cached"]["ms_per_design"]
         <= result["segment_cached"]["ms_per_design"]
     )
+    # The population-kernel rung shares the warm segment table, so it must
+    # at least keep pace with per-design segment-cached evaluation (its
+    # detailed gates live in test_population_kernel.py).
+    kernel = result["population_kernel"]
+    assert kernel["speedup_vs_cold"] >= 2.0
+    assert kernel["kernel"].get("vector_composed", 0) > 0
 
 
 def test_hotpath_bit_identity_detailed(results_dir):

@@ -1,0 +1,19 @@
+"""Repo-root pytest configuration.
+
+Lives at the root (not ``tests/conftest.py``) because ``pytest_addoption``
+must be in an *initial* conftest — one pytest loads before parsing the
+command line — for the option to exist on every invocation, including a
+bare ``pytest -x -q`` from the repo root.
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden",
+        action="store_true",
+        default=False,
+        help=(
+            "rewrite tests/data/golden_reports/ from current model output "
+            "instead of diffing against it (review the diff before committing)"
+        ),
+    )

@@ -39,7 +39,7 @@ from repro.workloads import (
     unregister_model,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "build_accelerator",

@@ -1,0 +1,124 @@
+"""Tensor-backend glue for the population kernel.
+
+The core's :class:`~repro.core.cost.vector.PopulationKernel` composes
+whole populations through eight elementwise column operations. This
+module provides the runtime's implementations of that contract:
+
+* :class:`NumpyOps` — float64/int64 arrays, used when numpy imports;
+* the core's own :class:`~repro.core.cost.vector.PurePythonOps` —
+  plain lists, always available (the library stays stdlib-only at its
+  core; numpy is an optional extra).
+
+Selection: :func:`get_backend` honors an explicit name, then the
+``MCCM_TENSOR`` environment variable (``numpy`` | ``python`` | ``auto``),
+then auto-detection. Requesting ``numpy`` without numpy installed raises
+— a silent fallback would make "I benchmarked the numpy path" a lie.
+
+Both backends are bit-exact with the scalar path (the kernel's
+sequential-accumulation discipline plus its 2**53 guards make int64 /
+float64 lanes behave exactly like Python ints and floats); the oracle in
+``tests/core/test_vector_oracle.py`` compares all of them byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Sequence
+
+from repro.core.cost.vector import PurePythonOps
+
+#: Environment override consulted by :func:`get_backend`.
+TENSOR_ENV = "MCCM_TENSOR"
+
+_UNSET = object()
+_NUMPY = _UNSET
+
+
+def numpy_or_none():
+    """The imported numpy module, or ``None`` when unavailable (cached)."""
+    global _NUMPY
+    if _NUMPY is _UNSET:
+        try:
+            import numpy
+        except ImportError:
+            _NUMPY = None
+        else:
+            _NUMPY = numpy
+    return _NUMPY
+
+
+class NumpyOps:
+    """The numpy tensor backend: float64 / int64 column arrays.
+
+    Mirrors :class:`~repro.core.cost.vector.PurePythonOps` operation for
+    operation. Reductions across block positions stay *sequential* in the
+    kernel (one ``add``/``maximum`` per position) — vectorization is
+    across the population axis — so float results match Python's
+    left-to-right accumulation bit-for-bit.
+    """
+
+    name = "numpy"
+
+    def __init__(self) -> None:
+        np = numpy_or_none()
+        if np is None:
+            raise RuntimeError(
+                "numpy backend requested but numpy is not importable; "
+                "install numpy or use the 'python' backend"
+            )
+        self._np = np
+
+    def floats(self, values: Sequence[float]):
+        return self._np.asarray(values, dtype=self._np.float64)
+
+    def ints(self, values: Sequence[int]):
+        return self._np.asarray(values, dtype=self._np.int64)
+
+    def bools(self, values: Sequence[bool]):
+        return self._np.asarray(values, dtype=bool)
+
+    @staticmethod
+    def add(a, b):
+        return a + b
+
+    def maximum(self, a, b):
+        return self._np.maximum(a, b)
+
+    @staticmethod
+    def divide(a, scalar):
+        return a / scalar
+
+    def where(self, mask, a, b):
+        return self._np.where(mask, a, b)
+
+    @staticmethod
+    def tolist(column) -> list:
+        return column.tolist()
+
+
+def available_backends() -> List[str]:
+    """Backend names usable in this interpreter (``python`` always is)."""
+    names = ["python"]
+    if numpy_or_none() is not None:
+        names.append("numpy")
+    return names
+
+
+def get_backend(name: Optional[str] = None):
+    """Resolve a tensor backend by name, env override, or auto-detection.
+
+    ``None``/``"auto"`` consults ``$MCCM_TENSOR`` and falls back to numpy
+    when importable, pure Python otherwise. Explicit ``"numpy"`` raises
+    if numpy is missing; explicit ``"python"`` always works.
+    """
+    if name is None or name == "auto":
+        name = os.environ.get(TENSOR_ENV, "auto").strip().lower() or "auto"
+    if name == "auto":
+        name = "numpy" if numpy_or_none() is not None else "python"
+    if name == "numpy":
+        return NumpyOps()
+    if name == "python":
+        return PurePythonOps()
+    raise ValueError(
+        f"unknown tensor backend {name!r}; expected 'numpy', 'python', or 'auto'"
+    )

@@ -4,9 +4,11 @@ import pytest
 
 from repro.api import build_accelerator, evaluate, resolve_board, resolve_model, sweep
 from repro.core.builder import Accelerator
+from repro.core.cost.export import report_to_dict
 from repro.core.cost.results import CostReport
 from repro.core.notation import parse_notation
-from repro.hw.boards import get_board
+from repro.hw.boards import FPGABoard, get_board
+from repro.runtime import BatchEvaluator
 from repro.utils.errors import MCCMError
 
 
@@ -75,3 +77,43 @@ class TestSweep:
             assert report.latency_cycles > 0
             assert report.throughput_fps > 0
             assert report.accesses.total_bytes > 0
+
+
+class TestSweepPopulationKernel:
+    """The batched population kernel is invisible in sweep results."""
+
+    def _starved_board(self):
+        # Tight enough that high CE counts fail allocation while low
+        # counts still fit: the sweep then has both reports and skips.
+        return FPGABoard(
+            name="starved",
+            dsp_count=64,
+            bram_bytes=48 * 1024,
+            bandwidth_gbps=1.0,
+        )
+
+    def test_skipped_identical_under_kernel(self, tiny_cnn):
+        board = self._starved_board()
+        scalar = sweep(tiny_cnn, board, population_kernel="off")
+        batched = sweep(tiny_cnn, board, population_kernel="on")
+        assert len(batched.skipped) == len(scalar.skipped)
+        assert [
+            (skip.architecture, skip.ce_count, skip.reason)
+            for skip in batched.skipped
+        ] == [
+            (skip.architecture, skip.ce_count, skip.reason)
+            for skip in scalar.skipped
+        ]
+        assert [report_to_dict(r) for r in batched] == [
+            report_to_dict(r) for r in scalar
+        ]
+
+    def test_starved_sweep_actually_skips(self, tiny_cnn):
+        result = sweep(tiny_cnn, self._starved_board(), population_kernel="on")
+        assert result.skipped, "board not starved enough to exercise skips"
+        assert result, "board too starved: no feasible configs left"
+
+    def test_explicit_runtime_rejects_kernel_settings(self, tiny_cnn, roomy_board):
+        runtime = BatchEvaluator(tiny_cnn, roomy_board, jobs=1)
+        with pytest.raises(ValueError):
+            sweep(tiny_cnn, roomy_board, runtime=runtime, population_kernel="on")

@@ -1,0 +1,102 @@
+"""Golden-report regression corpus: byte-for-byte against checked-in JSON.
+
+One canonical report per Table-5 architecture × board (SqueezeNet, 4 CEs
+— small enough that the whole corpus evaluates in seconds) lives in
+``tests/data/golden_reports/``. The test diffs the *serialized JSON
+text*, not parsed structures: any change to a cost number, a field name,
+or even float formatting is a regression (or a deliberate model change).
+
+On a deliberate change, regenerate and review the diff:
+
+    pytest tests/integration/test_golden_reports.py --regen-golden
+    git diff tests/data/golden_reports/
+
+The corpus is also a cross-path anchor: the batched population kernel
+must reproduce the same bytes on both tensor backends, which ties the
+golden files to the differential oracle's guarantee.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.api import evaluate
+from repro.core.architectures import PAPER_ARCHITECTURES
+from repro.core.cost.export import report_to_json
+from repro.hw.boards import PAPER_BOARDS
+
+GOLDEN_DIR = Path(__file__).parent.parent / "data" / "golden_reports"
+MODEL = "squeezenet"
+CE_COUNT = 4
+
+CONFIGS = [
+    (architecture, board)
+    for architecture in PAPER_ARCHITECTURES
+    for board in PAPER_BOARDS
+]
+
+
+def _golden_path(architecture: str, board: str) -> Path:
+    return GOLDEN_DIR / f"{MODEL}_{architecture}_{board}_ce{CE_COUNT}.json"
+
+
+def _current_text(architecture: str, board: str) -> str:
+    report = evaluate(MODEL, board, architecture, ce_count=CE_COUNT)
+    return report_to_json(report) + "\n"
+
+
+@pytest.mark.parametrize("architecture,board", CONFIGS)
+def test_golden_report(architecture, board, request):
+    path = _golden_path(architecture, board)
+    text = _current_text(architecture, board)
+    if request.config.getoption("--regen-golden"):
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+        return
+    assert path.exists(), (
+        f"golden report missing: {path}\n"
+        "generate it with: pytest tests/integration/test_golden_reports.py "
+        "--regen-golden"
+    )
+    golden = path.read_text()
+    assert text == golden, (
+        f"report for {MODEL}/{architecture}/{board} diverged from "
+        f"{path.name}; if the model change is deliberate, regenerate with "
+        "--regen-golden and review the diff"
+    )
+
+
+def test_corpus_has_no_strays():
+    """Every checked-in golden file corresponds to a tested config."""
+    expected = {_golden_path(a, b).name for a, b in CONFIGS}
+    actual = {p.name for p in GOLDEN_DIR.glob("*.json")}
+    assert actual == expected
+
+
+def test_golden_reports_match_population_kernel(request):
+    """The batched kernel reproduces the corpus bytes on every backend."""
+    if request.config.getoption("--regen-golden"):
+        pytest.skip("corpus being regenerated")
+    from repro.api import resolve_board, resolve_model
+    from repro.core.architectures import build_template
+    from repro.runtime.batch import BatchEvaluator
+    from repro.runtime.tensor import available_backends
+
+    graph = resolve_model(MODEL)
+    for backend in available_backends():
+        for board_name in PAPER_BOARDS:
+            board = resolve_board(board_name)
+            evaluator = BatchEvaluator(
+                graph, board, jobs=1, tensor_backend=backend
+            )
+            specs = [
+                build_template(architecture, graph.conv_specs(), CE_COUNT)
+                for architecture in PAPER_ARCHITECTURES
+            ]
+            items = evaluator.evaluate_population(specs)
+            for architecture, item in zip(PAPER_ARCHITECTURES, items):
+                golden = _golden_path(architecture, board_name).read_text()
+                assert report_to_json(item.report) + "\n" == golden, (
+                    f"{backend} kernel diverged from golden "
+                    f"{MODEL}/{architecture}/{board_name}"
+                )

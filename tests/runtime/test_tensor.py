@@ -1,0 +1,83 @@
+"""The tensor-backend glue: selection rules and op-level equivalence."""
+
+import pytest
+
+from repro.core.cost.vector import PurePythonOps
+from repro.runtime.tensor import (
+    NumpyOps,
+    available_backends,
+    get_backend,
+    numpy_or_none,
+)
+
+HAVE_NUMPY = numpy_or_none() is not None
+
+
+def test_python_backend_always_available():
+    assert "python" in available_backends()
+    assert isinstance(get_backend("python"), PurePythonOps)
+
+
+def test_auto_backend_prefers_numpy_when_present(monkeypatch):
+    monkeypatch.delenv("MCCM_TENSOR", raising=False)
+    backend = get_backend()
+    if HAVE_NUMPY:
+        assert isinstance(backend, NumpyOps)
+    else:
+        assert isinstance(backend, PurePythonOps)
+
+
+def test_env_override_selects_backend(monkeypatch):
+    monkeypatch.setenv("MCCM_TENSOR", "python")
+    assert isinstance(get_backend(), PurePythonOps)
+    # An explicit argument beats the environment.
+    if HAVE_NUMPY:
+        assert isinstance(get_backend("numpy"), NumpyOps)
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError, match="unknown tensor backend"):
+        get_backend("fortran")
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+def test_numpy_requested_explicitly_works():
+    assert isinstance(get_backend("numpy"), NumpyOps)
+    assert "numpy" in available_backends()
+
+
+def _backends():
+    backends = [PurePythonOps()]
+    if HAVE_NUMPY:
+        backends.append(NumpyOps())
+    return backends
+
+
+def test_ops_agree_across_backends():
+    """The eight kernel ops produce identical Python values on every backend."""
+    floats_a = [0.5, 1e17, 3.25, 0.0]
+    floats_b = [1.25, 1.0, 7.125, 2.0]
+    ints_a = [3, 2 ** 52, 0, 41]
+    ints_b = [5, 1, 9, 1]
+    mask = [True, False, True, False]
+    results = []
+    for backend in _backends():
+        fa, fb = backend.floats(floats_a), backend.floats(floats_b)
+        ia, ib = backend.ints(ints_a), backend.ints(ints_b)
+        results.append(
+            (
+                backend.tolist(backend.add(fa, fb)),
+                backend.tolist(backend.maximum(fa, fb)),
+                backend.tolist(backend.divide(ia, 3.0)),
+                backend.tolist(backend.add(ia, ib)),
+                backend.tolist(backend.maximum(ia, ib)),
+                backend.tolist(backend.where(backend.bools(mask), fa, fb)),
+                backend.tolist(backend.where(backend.bools(mask), ia, ib)),
+            )
+        )
+    for other in results[1:]:
+        assert other == results[0]
+    # Extraction yields native Python scalars (JSON-identical reports).
+    for group in results:
+        assert all(isinstance(value, float) for value in group[0])
+        assert all(isinstance(value, int) for value in group[3])
