@@ -26,6 +26,18 @@ from repro.api import (
 from repro.core.cost.results import CostReport
 from repro.core.notation import ArchitectureSpec, parse_notation
 from repro.runtime import BatchEvaluator, RunStats
+# Constraint rules: declarative SLO rulesets producing typed verdicts
+# (docs/rules.md); `evaluate(..., rules=...)` threads them through reports.
+from repro.rules import (
+    Rule,
+    RuleSet,
+    Verdict,
+    available_rulesets,
+    evaluate_rules,
+    get_ruleset,
+    register_ruleset,
+    unregister_ruleset,
+)
 # Workload resolution goes through the registry, so listings and lookups
 # reflect user-registered models/boards, not just the paper's built-ins.
 from repro.workloads import (
@@ -39,7 +51,7 @@ from repro.workloads import (
     unregister_model,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "build_accelerator",
@@ -65,5 +77,13 @@ __all__ = [
     "get_board",
     "register_board",
     "unregister_board",
+    "Rule",
+    "RuleSet",
+    "Verdict",
+    "available_rulesets",
+    "get_ruleset",
+    "register_ruleset",
+    "unregister_ruleset",
+    "evaluate_rules",
     "__version__",
 ]

@@ -41,6 +41,18 @@ from repro.hw.boards import FPGABoard
 from repro.hw.datatypes import DEFAULT_PRECISION, Precision
 from repro.runtime import BatchEvaluator, ProgressCallback, RunStats
 from repro.runtime.fingerprint import context_fingerprint
+# Ruleset registration is a registry concern; the API re-exports the
+# entry points and threads `rules=` through evaluate/sweep.
+from repro.rules import (  # noqa: F401  (re-exported)
+    register_ruleset,
+    unregister_ruleset,
+)
+from repro.rules.engine import (
+    RulesLike,
+    attach_verdicts,
+    evaluate_rules,
+    resolve_ruleset,
+)
 from repro.utils.errors import MCCMError, ResourceError
 # Workload resolution and registration are registry concerns; the API
 # re-exports the registration entry points as part of its public surface.
@@ -120,10 +132,24 @@ def evaluate(
     architecture: ArchitectureLike,
     ce_count: Optional[int] = None,
     precision: Precision = DEFAULT_PRECISION,
+    *,
+    rules: Optional[RulesLike] = None,
 ) -> CostReport:
-    """Build and evaluate an accelerator; returns the full cost report."""
+    """Build and evaluate an accelerator; returns the full cost report.
+
+    ``rules`` (a registered ruleset name, a ruleset-schema dict, or a
+    :class:`~repro.rules.schema.RuleSet`) additionally evaluates the
+    constraint rules against the finished report and attaches their
+    verdicts (``report.verdicts``). The cost numbers are identical with
+    rules on or off — rules are observers, never inputs.
+    """
     accelerator = build_accelerator(model, board, architecture, ce_count, precision)
-    return default_model().evaluate(accelerator)
+    report = default_model().evaluate(accelerator)
+    if rules is None:
+        return report
+    fpga = resolve_board(board, precision=precision)
+    verdicts = evaluate_rules(report, rules, board=fpga, precision=precision)
+    return attach_verdicts(report, verdicts)
 
 
 @dataclass(frozen=True)
@@ -193,6 +219,7 @@ def sweep(
     tensor_backend: Optional[str] = None,
     progress: Optional[ProgressCallback] = None,
     runtime: Optional[BatchEvaluator] = None,
+    rules: Optional[RulesLike] = None,
 ) -> SweepResult:
     """Evaluate the paper's baseline sweep: architectures x CE counts.
 
@@ -212,9 +239,17 @@ def sweep(
     composed through the vectorized population kernel
     (:mod:`repro.core.cost.vector`); reports are bit-identical on every
     setting.
+
+    ``rules`` evaluates a constraint ruleset against every produced report
+    and attaches verdicts, exactly as in :func:`evaluate`. Verdicts are
+    attached *after* evaluation (and after caching), so cache entries and
+    cost numbers stay byte-identical to a rules-off sweep.
     """
     graph = resolve_model(model)
     fpga = resolve_board(board, precision=precision)
+    # Resolve the ruleset up front so unknown names fail before any
+    # evaluation work (and before the runtime forks workers).
+    ruleset = resolve_ruleset(rules) if rules is not None else None
     if runtime is not None:
         if jobs != 1 or cache_dir is not None:
             raise ValueError(
@@ -269,7 +304,13 @@ def sweep(
                 skipped.append(SkippedConfig(name, count, reason))
                 logger.debug("sweep skipping %s x %d CEs: %s", name, count, reason)
             else:
-                reports.append(item.report)
+                report = item.report
+                if ruleset is not None:
+                    verdicts = evaluate_rules(
+                        report, ruleset, board=fpga, precision=precision
+                    )
+                    report = attach_verdicts(report, verdicts)
+                reports.append(report)
     finally:
         if runtime is None:
             evaluator.close()

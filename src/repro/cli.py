@@ -16,6 +16,9 @@ Subcommands mirror the library's use cases:
   ``register`` user-defined JSON ones (persisted in the workload
   directory, ``$MCCM_WORKLOAD_DIR``); ``evaluate``/``sweep``/``dse``/
   ``validate`` also take one-shot ``--model-file``/``--board-file``.
+* ``rules`` — ``list``/``register`` constraint rulesets (persisted in
+  ``$MCCM_RULE_DIR``) or ``check`` a saved report JSON against one;
+  ``evaluate --rules NAME`` attaches verdicts inline (``docs/rules.md``).
 
 Bad inputs (unknown model/board names, malformed notation) exit with
 status 2 and a one-line ``error:`` message instead of a traceback.
@@ -30,12 +33,13 @@ from typing import List, Optional
 
 from repro.utils.errors import MCCMError
 
+from repro import rules as rules_registry
 from repro import workloads
 from repro.analysis.pareto import report_front
 from repro.analysis.reporting import comparison_table
 from repro.api import build_accelerator, evaluate, resolve_board, resolve_model, sweep
 from repro.cnn.stats import collect_stats, stats_table
-from repro.core.cost.export import report_to_json, reports_to_csv
+from repro.core.cost.export import report_from_json, report_to_json, reports_to_csv
 from repro.core.cost.model import default_model
 from repro.dse import (
     CustomDesignSpace,
@@ -158,14 +162,25 @@ def _print_run_stats(stats) -> None:
     )
 
 
+def _print_verdicts(verdicts) -> None:
+    for verdict in verdicts:
+        status = "pass" if verdict.passed else verdict.severity.upper()
+        print(f"[rules] {status:<5} {verdict.rule}: {verdict.message}", file=sys.stderr)
+
+
 def _cmd_evaluate(args: argparse.Namespace) -> int:
     model, board = _selected_workloads(args)
-    report = evaluate(model, board, args.arch, ce_count=args.ces)
+    report = evaluate(
+        model, board, args.arch, ce_count=args.ces, rules=args.rules or None
+    )
     if args.json:
+        # With --rules the dump gains a "verdicts" section; without it the
+        # bytes are identical to the historical report JSON.
         print(report_to_json(report))
     else:
         print(report.summary())
         print(f"notation: {report.notation}")
+        _print_verdicts(report.verdicts)
     return 0
 
 
@@ -464,6 +479,80 @@ def _cmd_boards_register(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_rules_list(args: argparse.Namespace) -> int:
+    names = rules_registry.available_rulesets()
+    if getattr(args, "json", False):
+        catalog = []
+        for name in names:
+            definition = rules_registry.ruleset_definition(name)
+            catalog.append(
+                {
+                    "name": name,
+                    "description": definition.get("description", ""),
+                    "rule_count": len(definition.get("rules", [])),
+                    "custom": not rules_registry.REGISTRY.is_builtin_ruleset(name),
+                    "source": rules_registry.REGISTRY.ruleset_source(name),
+                    "definition": definition,
+                }
+            )
+        print(json.dumps({"rulesets": catalog}, indent=2))
+        return 0
+    header = f"{'ruleset':<24}{'rules':>6}  description"
+    print(header)
+    print("-" * len(header))
+    for name in names:
+        definition = rules_registry.ruleset_definition(name)
+        suffix = (
+            ""
+            if rules_registry.REGISTRY.is_builtin_ruleset(name)
+            else "  (custom)"
+        )
+        description = definition.get("description", "")
+        print(
+            f"{name:<24}{len(definition.get('rules', [])):>6}  "
+            f"{description[:60]}{suffix}"
+        )
+    return 0
+
+
+def _cmd_rules_register(args: argparse.Namespace) -> int:
+    name = rules_registry.register_ruleset(args.file, replace=True)
+    definition = rules_registry.ruleset_definition(name)
+    line = f"registered ruleset {name!r} ({len(definition['rules'])} rule(s))"
+    if not args.no_save:
+        path = rules_registry.save_ruleset(name, definition)
+        line += f" -> {path}"
+    print(line)
+    return 0
+
+
+def _cmd_rules_check(args: argparse.Namespace) -> int:
+    """Judge a saved ``evaluate --json`` report against a ruleset.
+
+    Exits 0 when every ``fail``-severity rule passes, 1 otherwise —
+    scriptable as a CI gate over exported reports.
+    """
+    try:
+        with open(args.report, "r", encoding="utf-8") as handle:
+            report = report_from_json(handle.read())
+    except OSError as error:
+        print(f"error: cannot read report {args.report}: {error}", file=sys.stderr)
+        return 2
+    except (KeyError, TypeError, ValueError) as error:
+        print(
+            f"error: {args.report} is not a report JSON dump "
+            f"({type(error).__name__}: {error})",
+            file=sys.stderr,
+        )
+        return 2
+    verdicts = rules_registry.evaluate_rules(report, args.rules)
+    if getattr(args, "json", False):
+        print(json.dumps([verdict.to_dict() for verdict in verdicts], indent=2))
+    else:
+        _print_verdicts(verdicts)
+    return 1 if rules_registry.has_failures(verdicts) else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -476,6 +565,13 @@ def build_parser() -> argparse.ArgumentParser:
     cmd.add_argument("--arch", required=True, help="template name or notation string")
     cmd.add_argument("--ces", type=int, default=None, help="CE count (templates)")
     cmd.add_argument("--json", action="store_true", help="emit the full JSON report")
+    cmd.add_argument(
+        "--rules",
+        default=None,
+        metavar="NAME",
+        help="evaluate a registered constraint ruleset against the report "
+        "and attach its verdicts (see `repro rules list`)",
+    )
     cmd.set_defaults(func=_cmd_evaluate)
 
     cmd = commands.add_parser("sweep", help="architectures x CE counts grid")
@@ -637,6 +733,40 @@ def build_parser() -> argparse.ArgumentParser:
         "into the workload directory ($MCCM_WORKLOAD_DIR)",
     )
     sub.set_defaults(func=_cmd_boards_register)
+
+    cmd = commands.add_parser(
+        "rules", help="list, register, or check constraint rulesets"
+    )
+    cmd.set_defaults(func=_cmd_rules_list)
+    rule_commands = cmd.add_subparsers(dest="rules_command")
+    sub = rule_commands.add_parser("list", help="every registered ruleset")
+    sub.add_argument("--json", action="store_true", help="emit the JSON catalog")
+    sub.set_defaults(func=_cmd_rules_list)
+    sub = rule_commands.add_parser(
+        "register", help="validate and register a ruleset JSON file"
+    )
+    sub.add_argument("file", help="ruleset JSON file (see docs/rules.md)")
+    sub.add_argument(
+        "--no-save",
+        action="store_true",
+        help="validate/register for this process only instead of persisting "
+        "into the rule directory ($MCCM_RULE_DIR)",
+    )
+    sub.set_defaults(func=_cmd_rules_register)
+    sub = rule_commands.add_parser(
+        "check",
+        help="judge a saved `evaluate --json` report against a ruleset "
+        "(exit 1 on fail verdicts)",
+    )
+    sub.add_argument("report", help="report JSON file (from evaluate --json)")
+    sub.add_argument(
+        "--rules",
+        default=rules_registry.BUILTIN_RESOURCES,
+        metavar="NAME",
+        help="registered ruleset to check against (default: builtin:resources)",
+    )
+    sub.add_argument("--json", action="store_true", help="emit the JSON verdicts")
+    sub.set_defaults(func=_cmd_rules_check)
     return parser
 
 
@@ -644,9 +774,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
-        # Models/boards persisted by `repro models|boards register` load
-        # into the registry before any command resolves names.
+        # Models/boards/rulesets persisted by `repro ... register` load
+        # into their registries before any command resolves names.
         workloads.load_workload_dir()
+        rules_registry.load_rule_dir()
         return args.func(args)
     except MCCMError as error:
         # Covers unknown model/board names too: the workload registry

@@ -18,6 +18,7 @@ from repro.core.cost.results import (
     CostReport,
     SegmentCost,
 )
+from repro.rules.schema import Verdict
 
 #: Columns of the CSV export, in order.
 CSV_COLUMNS = [
@@ -38,8 +39,13 @@ CSV_COLUMNS = [
 
 
 def report_to_dict(report: CostReport) -> Dict[str, Any]:
-    """Full JSON-compatible dump of one report, segments included."""
-    return {
+    """Full JSON-compatible dump of one report, segments included.
+
+    The ``verdicts`` key appears only when rule verdicts are attached, so
+    rules-off dumps (runtime caches, golden files, checkpoints) keep their
+    historical byte layout.
+    """
+    payload = {
         "accelerator": report.accelerator_name,
         "model": report.model_name,
         "board": report.board_name,
@@ -94,6 +100,9 @@ def report_to_dict(report: CostReport) -> Dict[str, Any]:
             for segment in block.segments
         ],
     }
+    if report.verdicts:
+        payload["verdicts"] = [verdict.to_dict() for verdict in report.verdicts]
+    return payload
 
 
 def report_to_json(report: CostReport, indent: int = 2) -> str:
@@ -164,6 +173,9 @@ def report_from_dict(data: Dict[str, Any]) -> CostReport:
         total_pes=data["total_pes"],
         fits_onchip=data["fits_onchip"],
         notation=data["notation"],
+        verdicts=tuple(
+            Verdict.from_dict(verdict) for verdict in data.get("verdicts", ())
+        ),
     )
 
 

@@ -9,7 +9,7 @@ granularities: per segment, per block, and per accelerator.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from repro.utils.units import bytes_to_mib
 
@@ -118,6 +118,10 @@ class CostReport:
     total_pes: int
     fits_onchip: bool
     notation: str = ""
+    #: Constraint-rule outcomes (:class:`repro.rules.schema.Verdict`),
+    #: attached only when a caller asked for rules — the cost model itself
+    #: never populates this, so rules-off reports are unchanged.
+    verdicts: Tuple[Any, ...] = ()
 
     # -- derived report metrics ------------------------------------------------
     @property

@@ -61,6 +61,8 @@ from repro.hw.datatypes import (
     precision_from_names,
     precision_to_dict,
 )
+from repro.rules import REGISTRY as RULES
+from repro.rules.engine import evaluate_rules, has_failures
 from repro.utils.errors import MCCMError, reject_unknown_fields
 from repro.workloads import REGISTRY
 
@@ -209,10 +211,19 @@ class CampaignSpec:
     # random/guided strategy knobs
     samples: int = 500
     refine_top: int = 5
+    #: Registered ruleset name used as a hard constraint: designs with a
+    #: failed ``fail``-severity verdict never enter the Pareto archives.
+    rules: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.cells:
             raise CampaignError("campaign needs at least one cell")
+        if self.rules is not None:
+            # Canonicalize eagerly so the fingerprint is spelling-stable;
+            # unknown names raise UnknownWorkloadError (service: 404).
+            object.__setattr__(
+                self, "rules", RULES.canonical_ruleset_name(self.rules)
+            )
         if self.strategy not in STRATEGY_NAMES:
             raise CampaignError(
                 f"unknown strategy {self.strategy!r}; expected one of {STRATEGY_NAMES}"
@@ -251,7 +262,7 @@ class CampaignSpec:
         return per_cell * len(self.cells)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "name": self.name,
             "strategy": self.strategy,
             "seed": self.seed,
@@ -264,6 +275,11 @@ class CampaignSpec:
             "refine_top": self.refine_top,
             "cells": [cell.to_dict() for cell in self.cells],
         }
+        # Emitted only when set, so rules-free specs (and their sha256
+        # fingerprints, which guard every existing checkpoint) are unchanged.
+        if self.rules is not None:
+            payload["rules"] = self.rules
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
@@ -285,9 +301,13 @@ class CampaignSpec:
                 "samples",
                 "refine_top",
                 "cells",
+                "rules",
             ),
             "campaign spec",
         )
+        rules = data.get("rules")
+        if rules is not None and not isinstance(rules, str):
+            raise CampaignError("campaign field 'rules' must be a ruleset name")
         cells = data.get("cells")
         if not isinstance(cells, (list, tuple)) or not cells:
             raise CampaignError("campaign spec needs a non-empty 'cells' list")
@@ -309,6 +329,7 @@ class CampaignSpec:
                 mutation_rate=data.get("mutation_rate", 0.9),
                 samples=data.get("samples", 500),
                 refine_top=data.get("refine_top", 5),
+                rules=rules,
             )
         except (TypeError, ValueError) as error:
             raise CampaignError(f"bad campaign spec: {error}") from None
@@ -635,9 +656,11 @@ class Campaign:
                 f"checkpoint {path} has version {data.get('version')!r}, "
                 f"this build reads {CHECKPOINT_VERSION}"
             )
-        # Custom workloads must be back in the registry *before* the spec
-        # parses, or its cells would fail name resolution.
+        # Custom workloads and rulesets must be back in their registries
+        # *before* the spec parses, or its cells (and its ``rules`` name)
+        # would fail resolution.
         cls._restore_workloads(data.get("workloads") or {})
+        cls._restore_rulesets(data.get("rulesets") or {})
         stored_spec = CampaignSpec.from_dict(data["spec"])
         if data.get("fingerprint") != stored_spec.fingerprint():
             raise CampaignError(f"checkpoint {path} fingerprint mismatch (corrupt?)")
@@ -704,12 +727,43 @@ class Campaign:
                         f"be restored: {error}"
                     ) from None
 
+    def _ruleset_definitions(self) -> Dict[str, Dict[str, Any]]:
+        """Full definition of the spec's *custom* ruleset, if any.
+
+        Embedded for the same self-containment reason as workloads: a
+        resumed campaign re-registers its constraint ruleset before the
+        spec parses, so the front it replays is byte-identical even in a
+        process that never saw the user's rule files. Built-in rulesets
+        need no embedding.
+        """
+        name = self.spec.rules
+        if name is None or RULES.is_builtin_ruleset(name):
+            return {}
+        return {name: RULES.ruleset_definition(name)}
+
+    @staticmethod
+    def _restore_rulesets(data: Mapping[str, Any]) -> None:
+        """Re-register a checkpoint's embedded ruleset definitions.
+
+        Mirrors :meth:`_restore_workloads`: identical re-registration is a
+        no-op; a live registration that differs is refused.
+        """
+        for name, definition in data.items():
+            try:
+                RULES.register_ruleset(definition, name=name, source="checkpoint")
+            except MCCMError as error:
+                raise CampaignError(
+                    f"checkpoint embeds ruleset {name!r} that cannot be "
+                    f"restored: {error}"
+                ) from None
+
     def checkpoint_dict(self) -> Dict[str, Any]:
         return {
             "version": CHECKPOINT_VERSION,
             "fingerprint": self.spec.fingerprint(),
             "spec": self.spec.to_dict(),
             "workloads": self._workload_definitions(),
+            "rulesets": self._ruleset_definitions(),
             "cells": [cell.to_dict() for cell in self.cells],
         }
 
@@ -783,6 +837,32 @@ class Campaign:
                     rounds = self._run_oneshot_cell(index, evaluator, space, rounds)
         return self.result()
 
+    def _admissible(self, index: int, evaluated: Sequence) -> List:
+        """The evaluated pairs the spec's ruleset admits into the archive.
+
+        With ``spec.rules`` set, any design whose report draws a failed
+        ``fail``-severity verdict is rejected *before* the Pareto archive
+        sees it. Filtering is deterministic (pure rule evaluation over
+        deterministic reports), so interrupted and uninterrupted campaigns
+        reject exactly the same designs and resumes stay byte-identical.
+        The population is NOT filtered — search dynamics are unchanged;
+        rules only gate what the campaign reports as its front.
+        """
+        if self.spec.rules is None:
+            return list(evaluated)
+        cell = self.spec.cells[index]
+        ruleset = RULES.ruleset(self.spec.rules)
+        board = REGISTRY.board(cell.board, precision=cell.precision)
+        return [
+            (design, report)
+            for design, report in evaluated
+            if not has_failures(
+                evaluate_rules(
+                    report, ruleset, board=board, precision=cell.precision
+                )
+            )
+        ]
+
     def _run_evolve_cell(
         self,
         index: int,
@@ -819,8 +899,9 @@ class Campaign:
                 self.save()
                 return rounds
             elapsed = time.perf_counter() - start
+            admitted = self._admissible(index, evaluated)
             with self._lock:
-                progress.archive.update(evaluated)
+                progress.archive.update(admitted)
                 progress.population = list(engine.population)
                 progress.generation = engine.generation
                 progress.rng_state = rng.getstate()
@@ -849,8 +930,9 @@ class Campaign:
             refine_top=self.spec.refine_top,
         )
         result = strategy.search(evaluator, space, seed=self.spec.cell_seed(index))
+        admitted = self._admissible(index, list(result.evaluated))
         with self._lock:
-            progress.archive.update(list(result.evaluated))
+            progress.archive.update(admitted)
             progress.evaluations += result.stats.evaluated + result.stats.failed
             progress.infeasible += result.stats.failed
             progress.elapsed_seconds += result.stats.elapsed_seconds

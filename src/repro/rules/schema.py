@@ -1,0 +1,515 @@
+"""Declarative constraint rules over cost reports: the data model.
+
+ROADMAP item 4 turns the cost model's single feasibility boolean into
+per-customer SLO verdicts: *"latency under 10 ms on every vcu-family
+board"*, *"at most 80% BRAM used"*, *"int8/int16 weights only"*. This
+module defines the JSON-stable schema those constraints are written in:
+
+* :class:`Rule` — one constraint: a metric selector over
+  :class:`~repro.core.cost.results.CostReport` quantities, a comparator,
+  a threshold with units (canonicalized at parse time so ``0.01 s`` and
+  ``10 ms`` are the same rule), a severity (``fail`` / ``warn`` /
+  ``info``), and optional :class:`RuleMatch` guards restricting the rule
+  to board families, model names, or model-size (total-MAC) ranges;
+* :class:`RuleSet` — a named, registrable collection of rules (see
+  :mod:`repro.rules.registry`);
+* :class:`Verdict` — the typed outcome of one rule against one report:
+  pass/fail, the observed value, and a numeric *exceedance* (how far on
+  the failing side of the threshold the observation lies).
+
+Everything round-trips losslessly through ``to_dict``/``from_dict``:
+``from_dict(x.to_dict()).to_dict()`` is byte-identical under
+``json.dumps`` — the property suite in ``tests/rules`` machine-checks it.
+Schema problems raise :class:`~repro.utils.errors.RuleError`.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import re
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from repro.hw.datatypes import DATATYPES, get_datatype
+from repro.utils.errors import RuleError, reject_unknown_fields
+
+#: Verdict severities, mildest last. ``fail`` verdicts gate DSE archives;
+#: ``warn`` and ``info`` are advisory.
+SEVERITIES = ("fail", "warn", "info")
+
+#: Directional comparators over numeric metrics. These are the comparators
+#: the monotonicity property covers: tightening the threshold never flips
+#: a verdict from fail to pass.
+NUMERIC_OPS = ("<=", "<", ">=", ">")
+
+#: Equality comparators (boolean metrics).
+EQUALITY_OPS = ("==", "!=")
+
+#: Set-membership comparators (the precision allowlist metric).
+SET_OPS = ("in", "not-in")
+
+#: Rule names: lowercase, usable as JSON keys and log tokens.
+_RULE_NAME_RE = re.compile(r"[a-z0-9][a-z0-9._-]*\Z")
+
+#: Ruleset names additionally allow ``:`` so the pre-registered
+#: ``builtin:resources`` set fits the grammar; the registry reserves the
+#: ``builtin:`` prefix for its own entries.
+RULESET_NAME_RE = re.compile(r"[a-z0-9][a-z0-9._:-]*\Z")
+
+
+# --- metric catalogue ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One selectable report quantity: its kind, units, and context needs."""
+
+    name: str
+    #: ``numeric`` (directional comparators), ``bool`` (equality), or
+    #: ``precision`` (set membership over datatype names).
+    kind: str
+    #: Canonical unit thresholds are stored in (``None`` for non-numerics).
+    base_unit: Optional[str] = None
+    #: unit name -> multiplier into the base unit.
+    units: Mapping[str, float] = None  # type: ignore[assignment]
+    #: Whether evaluation needs the FPGA board (BRAM fraction).
+    needs_board: bool = False
+    #: Whether evaluation needs the request :class:`Precision`.
+    needs_precision: bool = False
+
+
+#: Every metric a rule may select. Unit factors are exact binary/decimal
+#: fractions, so canonicalization is deterministic across platforms.
+METRICS: Dict[str, MetricSpec] = {
+    spec.name: spec
+    for spec in (
+        MetricSpec(
+            "latency_ms", "numeric", "ms", {"ms": 1.0, "s": 1000.0, "us": 0.001}
+        ),
+        MetricSpec("throughput_fps", "numeric", "fps", {"fps": 1.0}),
+        MetricSpec(
+            "buffer_mib",
+            "numeric",
+            "mib",
+            {"mib": 1.0, "gib": 1024.0, "kib": 1.0 / 1024, "bytes": 1.0 / (1 << 20)},
+        ),
+        MetricSpec(
+            "access_mib",
+            "numeric",
+            "mib",
+            {"mib": 1.0, "gib": 1024.0, "kib": 1.0 / 1024, "bytes": 1.0 / (1 << 20)},
+        ),
+        MetricSpec(
+            "bram_used_frac",
+            "numeric",
+            "frac",
+            {"frac": 1.0, "percent": 0.01},
+            needs_board=True,
+        ),
+        MetricSpec(
+            "pe_utilization", "numeric", "frac", {"frac": 1.0, "percent": 0.01}
+        ),
+        MetricSpec("total_pes", "numeric", "count", {"count": 1.0}),
+        MetricSpec("fits_onchip", "bool"),
+        MetricSpec("precision", "precision", needs_precision=True),
+    )
+}
+
+
+def _ops_for(metric: MetricSpec) -> Tuple[str, ...]:
+    if metric.kind == "numeric":
+        return NUMERIC_OPS
+    if metric.kind == "bool":
+        return EQUALITY_OPS
+    return SET_OPS
+
+
+# --- match guards -------------------------------------------------------------
+
+
+def _pattern_tuple(value: Any, field_name: str) -> Tuple[str, ...]:
+    if (
+        not isinstance(value, (list, tuple))
+        or not value
+        or not all(isinstance(item, str) and item.strip() for item in value)
+    ):
+        raise RuleError(
+            f"match field {field_name!r} must be a non-empty list of "
+            "name patterns (fnmatch syntax, e.g. 'vcu*')"
+        )
+    return tuple(item.strip().lower() for item in value)
+
+
+def _macs_bound(data: Mapping[str, Any], key: str) -> Optional[int]:
+    value = data.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+        raise RuleError(f"match field {key!r} must be a non-negative integer")
+    return value
+
+
+@dataclass(frozen=True)
+class RuleMatch:
+    """Optional guards restricting where a rule applies.
+
+    All provided guards must hold for the rule to apply; a rule with no
+    match section applies to every report. ``boards``/``models`` are
+    case-insensitive :mod:`fnmatch` patterns, so ``"vcu*"`` expresses a
+    board family; the MAC bounds guard on model size via
+    :attr:`CostReport.total_macs`.
+    """
+
+    boards: Optional[Tuple[str, ...]] = None
+    models: Optional[Tuple[str, ...]] = None
+    min_total_macs: Optional[int] = None
+    max_total_macs: Optional[int] = None
+
+    _FIELDS = ("boards", "models", "min_total_macs", "max_total_macs")
+
+    def applies(self, report: Any) -> bool:
+        """Whether this guard admits ``report`` (pure attribute reads)."""
+        if self.boards is not None:
+            board = str(report.board_name).lower()
+            if not any(fnmatch.fnmatchcase(board, pat) for pat in self.boards):
+                return False
+        if self.models is not None:
+            model = str(report.model_name).lower()
+            if not any(fnmatch.fnmatchcase(model, pat) for pat in self.models):
+                return False
+        if self.min_total_macs is not None and report.total_macs < self.min_total_macs:
+            return False
+        if self.max_total_macs is not None and report.total_macs > self.max_total_macs:
+            return False
+        return True
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {}
+        if self.boards is not None:
+            payload["boards"] = list(self.boards)
+        if self.models is not None:
+            payload["models"] = list(self.models)
+        if self.min_total_macs is not None:
+            payload["min_total_macs"] = self.min_total_macs
+        if self.max_total_macs is not None:
+            payload["max_total_macs"] = self.max_total_macs
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RuleMatch":
+        if not isinstance(data, Mapping):
+            raise RuleError(
+                f"rule 'match' must be a JSON object, got {type(data).__name__}"
+            )
+        reject_unknown_fields(data, cls._FIELDS, "rule match", RuleError)
+        boards = data.get("boards")
+        models = data.get("models")
+        match = cls(
+            boards=_pattern_tuple(boards, "boards") if boards is not None else None,
+            models=_pattern_tuple(models, "models") if models is not None else None,
+            min_total_macs=_macs_bound(data, "min_total_macs"),
+            max_total_macs=_macs_bound(data, "max_total_macs"),
+        )
+        if not match.to_dict():
+            raise RuleError("rule 'match' must constrain at least one field")
+        low, high = match.min_total_macs, match.max_total_macs
+        if low is not None and high is not None and low > high:
+            raise RuleError(
+                f"rule match MAC range is empty: min_total_macs {low} > "
+                f"max_total_macs {high}"
+            )
+        return match
+
+
+# --- rules --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One declarative constraint over a cost report.
+
+    Thresholds are stored *canonically*: numeric thresholds are converted
+    into the metric's base unit at parse time, boolean thresholds are
+    plain bools, and precision allowlists are sorted tuples of canonical
+    datatype names — so two spellings of the same constraint serialize to
+    the same bytes.
+    """
+
+    name: str
+    metric: str
+    op: str
+    threshold: Union[float, bool, Tuple[str, ...]]
+    severity: str = "fail"
+    message: Optional[str] = None
+    match: Optional[RuleMatch] = None
+
+    _FIELDS = ("name", "metric", "op", "threshold", "unit", "severity", "message", "match")
+
+    @property
+    def spec(self) -> MetricSpec:
+        return METRICS[self.metric]
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "name": self.name,
+            "metric": self.metric,
+            "op": self.op,
+        }
+        if self.spec.kind == "precision":
+            payload["threshold"] = list(self.threshold)  # type: ignore[arg-type]
+        else:
+            payload["threshold"] = self.threshold
+        if self.spec.kind == "numeric":
+            payload["unit"] = self.spec.base_unit
+        payload["severity"] = self.severity
+        if self.message is not None:
+            payload["message"] = self.message
+        if self.match is not None:
+            payload["match"] = self.match.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Rule":
+        if not isinstance(data, Mapping):
+            raise RuleError(
+                f"rule must be a JSON object, got {type(data).__name__}"
+            )
+        reject_unknown_fields(data, cls._FIELDS, "rule", RuleError)
+        name = data.get("name")
+        if not isinstance(name, str) or not _RULE_NAME_RE.match(name.strip().lower()):
+            raise RuleError(
+                f"bad rule name {name!r}: names must be lowercase alphanumerics "
+                "plus '._-'"
+            )
+        name = name.strip().lower()
+        metric_name = data.get("metric")
+        if metric_name not in METRICS:
+            raise RuleError(
+                f"rule {name!r} selects unknown metric {metric_name!r}; "
+                f"available: {sorted(METRICS)}"
+            )
+        metric = METRICS[metric_name]
+        op = data.get("op")
+        allowed_ops = _ops_for(metric)
+        if op not in allowed_ops:
+            raise RuleError(
+                f"rule {name!r}: comparator {op!r} is not valid for metric "
+                f"{metric_name!r} (allowed: {list(allowed_ops)})"
+            )
+        severity = data.get("severity", "fail")
+        if severity not in SEVERITIES:
+            raise RuleError(
+                f"rule {name!r}: severity must be one of {list(SEVERITIES)}, "
+                f"got {severity!r}"
+            )
+        message = data.get("message")
+        if message is not None and (not isinstance(message, str) or not message.strip()):
+            raise RuleError(f"rule {name!r}: 'message' must be a non-empty string")
+        threshold = cls._parse_threshold(name, metric, data)
+        match = data.get("match")
+        return cls(
+            name=name,
+            metric=metric_name,
+            op=op,
+            threshold=threshold,
+            severity=severity,
+            message=message.strip() if isinstance(message, str) else None,
+            match=RuleMatch.from_dict(match) if match is not None else None,
+        )
+
+    @staticmethod
+    def _parse_threshold(
+        name: str, metric: MetricSpec, data: Mapping[str, Any]
+    ) -> Union[float, bool, Tuple[str, ...]]:
+        if "threshold" not in data:
+            raise RuleError(f"rule {name!r} needs a 'threshold'")
+        raw = data["threshold"]
+        if metric.kind == "bool":
+            if "unit" in data:
+                raise RuleError(f"rule {name!r}: metric {metric.name!r} takes no unit")
+            if not isinstance(raw, bool):
+                raise RuleError(
+                    f"rule {name!r}: threshold for {metric.name!r} must be a boolean"
+                )
+            return raw
+        if metric.kind == "precision":
+            if "unit" in data:
+                raise RuleError(f"rule {name!r}: metric {metric.name!r} takes no unit")
+            if not isinstance(raw, (list, tuple)) or not raw:
+                raise RuleError(
+                    f"rule {name!r}: threshold for {metric.name!r} must be a "
+                    f"non-empty list of datatype names from {sorted(DATATYPES)}"
+                )
+            names = []
+            for entry in raw:
+                if not isinstance(entry, str):
+                    raise RuleError(
+                        f"rule {name!r}: precision threshold entries must be "
+                        f"datatype name strings, got {entry!r}"
+                    )
+                try:
+                    datatype = get_datatype(entry)
+                except KeyError:
+                    raise RuleError(
+                        f"rule {name!r}: unknown datatype {entry!r} in precision "
+                        f"threshold; available: {sorted(DATATYPES)}"
+                    ) from None
+                if datatype.name not in names:
+                    names.append(datatype.name)
+            return tuple(sorted(names))
+        # numeric: canonicalize through the unit table.
+        if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+            raise RuleError(
+                f"rule {name!r}: threshold for {metric.name!r} must be a number"
+            )
+        unit = data.get("unit", metric.base_unit)
+        if not isinstance(unit, str) or unit.strip().lower() not in metric.units:
+            raise RuleError(
+                f"rule {name!r}: unit {unit!r} is not valid for metric "
+                f"{metric.name!r} (allowed: {sorted(metric.units)})"
+            )
+        return float(raw) * metric.units[unit.strip().lower()]
+
+
+# --- rulesets -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RuleSet:
+    """A named collection of rules — the registrable unit.
+
+    Evaluation order is the declaration order; verdict lists preserve it.
+    """
+
+    name: str
+    rules: Tuple[Rule, ...]
+    description: str = ""
+
+    _FIELDS = ("name", "description", "rules")
+
+    def __post_init__(self) -> None:
+        if not self.rules:
+            raise RuleError(f"ruleset {self.name!r} needs at least one rule")
+        seen = set()
+        for rule in self.rules:
+            if rule.name in seen:
+                raise RuleError(
+                    f"ruleset {self.name!r} has duplicate rule name {rule.name!r}"
+                )
+            seen.add(rule.name)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "rules": [rule.to_dict() for rule in self.rules],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RuleSet":
+        if not isinstance(data, Mapping):
+            raise RuleError(
+                f"ruleset must be a JSON object, got {type(data).__name__}"
+            )
+        reject_unknown_fields(data, cls._FIELDS, "ruleset", RuleError)
+        name = data.get("name")
+        if not isinstance(name, str) or not RULESET_NAME_RE.match(name.strip().lower()):
+            raise RuleError(
+                f"bad ruleset name {name!r}: names must be lowercase "
+                "alphanumerics plus '._:-' (they become file names and URL "
+                "payloads)"
+            )
+        description = data.get("description", "")
+        if not isinstance(description, str):
+            raise RuleError("ruleset 'description' must be a string")
+        rules = data.get("rules")
+        if not isinstance(rules, (list, tuple)) or not rules:
+            raise RuleError("ruleset needs a non-empty 'rules' list")
+        return cls(
+            name=name.strip().lower(),
+            rules=tuple(Rule.from_dict(rule) for rule in rules),
+            description=description,
+        )
+
+
+# --- verdicts -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """The typed outcome of one rule against one report.
+
+    ``exceedance`` is the distance on the *failing* side of the threshold
+    for directional comparators (0.0 when the rule passes, larger as the
+    violation grows — tightening a threshold never decreases it) and
+    ``None`` for equality/set comparators, where distance is undefined.
+    """
+
+    rule: str
+    ruleset: str
+    metric: str
+    op: str
+    threshold: Union[float, bool, Tuple[str, ...]]
+    observed: Union[float, bool, str]
+    passed: bool
+    severity: str
+    exceedance: Optional[float]
+    message: str
+
+    _FIELDS = (
+        "rule",
+        "ruleset",
+        "metric",
+        "op",
+        "threshold",
+        "observed",
+        "passed",
+        "severity",
+        "exceedance",
+        "message",
+    )
+
+    def to_dict(self) -> Dict[str, Any]:
+        threshold = (
+            list(self.threshold)
+            if isinstance(self.threshold, tuple)
+            else self.threshold
+        )
+        return {
+            "rule": self.rule,
+            "ruleset": self.ruleset,
+            "metric": self.metric,
+            "op": self.op,
+            "threshold": threshold,
+            "observed": self.observed,
+            "passed": self.passed,
+            "severity": self.severity,
+            "exceedance": self.exceedance,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Verdict":
+        if not isinstance(data, Mapping):
+            raise RuleError(
+                f"verdict must be a JSON object, got {type(data).__name__}"
+            )
+        reject_unknown_fields(data, cls._FIELDS, "verdict", RuleError)
+        try:
+            threshold = data["threshold"]
+            if isinstance(threshold, list):
+                threshold = tuple(threshold)
+            return cls(
+                rule=data["rule"],
+                ruleset=data["ruleset"],
+                metric=data["metric"],
+                op=data["op"],
+                threshold=threshold,
+                observed=data["observed"],
+                passed=data["passed"],
+                severity=data["severity"],
+                exceedance=data["exceedance"],
+                message=data["message"],
+            )
+        except KeyError as error:
+            raise RuleError(f"verdict is missing field {error.args[0]!r}") from None

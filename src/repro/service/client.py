@@ -23,6 +23,7 @@ from repro.api import SkippedConfig
 from repro.core.cost.export import report_from_dict
 from repro.core.cost.results import CostReport
 from repro.hw.datatypes import Precision
+from repro.rules.schema import Verdict
 from repro.service.schema import precision_to_dict
 from repro.utils.errors import MCCMError
 
@@ -43,22 +44,34 @@ class ServiceError(MCCMError):
 
 @dataclass(frozen=True)
 class EvaluateResult:
-    """One ``POST /evaluate`` answer; ``report is None`` means infeasible."""
+    """One ``POST /evaluate`` answer; ``report is None`` means infeasible.
+
+    ``verdicts`` carries the response's top-level constraint verdicts
+    (:class:`~repro.rules.schema.Verdict`) — the requested ruleset's, or
+    ``builtin:resources`` by default. They ride *beside* the report, so
+    ``report`` stays byte-identical to the in-process rules-off one.
+    """
 
     feasible: bool
     cached: bool
     report: Optional[CostReport]
     reason: Optional[str]
+    verdicts: List[Any] = field(default_factory=list)
     raw: Dict[str, Any] = field(repr=False, default_factory=dict)
 
 
 @dataclass(frozen=True)
 class SweepResult:
-    """One ``POST /sweep`` answer, mirroring :class:`repro.api.SweepResult`."""
+    """One ``POST /sweep`` answer, mirroring :class:`repro.api.SweepResult`.
+
+    ``verdicts`` is aligned with ``reports``: ``verdicts[i]`` judges
+    ``reports[i]``.
+    """
 
     reports: List[CostReport]
     skipped: List[SkippedConfig]
     stats: Dict[str, Any]
+    verdicts: List[List[Any]] = field(default_factory=list)
     raw: Dict[str, Any] = field(repr=False, default_factory=dict)
 
 
@@ -128,6 +141,9 @@ class ServiceClient:
     def boards(self) -> List[Dict[str, Any]]:
         return self._request("GET", "/boards")["boards"]
 
+    def rulesets(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/rules")["rulesets"]
+
     # --- workload registration -----------------------------------------------
     def register_model(self, model, replace: bool = False) -> Dict[str, Any]:
         """``POST /models``: register a custom CNN; returns its catalog entry.
@@ -158,6 +174,23 @@ class ServiceClient:
             "POST", "/boards", {"board": definition, "replace": replace}
         )
 
+    # --- ruleset registration ------------------------------------------------
+    def register_ruleset(self, ruleset, replace: bool = False) -> Dict[str, Any]:
+        """``POST /rules``: register a constraint ruleset (see docs/rules.md).
+
+        ``ruleset`` is a :class:`~repro.rules.schema.RuleSet` or its JSON
+        dict schema. Registration lives for the service process;
+        re-registering identical content is idempotent.
+        """
+        from repro.rules.schema import RuleSet
+
+        definition = (
+            ruleset.to_dict() if isinstance(ruleset, RuleSet) else dict(ruleset)
+        )
+        return self._request(
+            "POST", "/rules", {"ruleset": definition, "replace": replace}
+        )
+
     # --- POST endpoints ------------------------------------------------------
     def evaluate(
         self,
@@ -166,6 +199,7 @@ class ServiceClient:
         architecture: str,
         ce_count: Optional[int] = None,
         precision: PrecisionLike = None,
+        rules: Optional[str] = None,
     ) -> EvaluateResult:
         payload: Dict[str, Any] = {
             "model": model,
@@ -176,6 +210,8 @@ class ServiceClient:
             payload["ce_count"] = ce_count
         if precision is not None:
             payload["precision"] = _precision_payload(precision)
+        if rules is not None:
+            payload["rules"] = rules
         data = self._request("POST", "/evaluate", payload)
         report = data.get("report")
         return EvaluateResult(
@@ -183,6 +219,7 @@ class ServiceClient:
             cached=data["cached"],
             report=None if report is None else report_from_dict(report),
             reason=data.get("reason"),
+            verdicts=[Verdict.from_dict(v) for v in data.get("verdicts", [])],
             raw=data,
         )
 
@@ -193,6 +230,7 @@ class ServiceClient:
         architectures: Optional[Iterable[str]] = None,
         ce_counts: Union[None, Iterable[int], Dict[str, int]] = None,
         precision: PrecisionLike = None,
+        rules: Optional[str] = None,
     ) -> SweepResult:
         payload: Dict[str, Any] = {"model": model, "board": board}
         if architectures is not None:
@@ -205,6 +243,8 @@ class ServiceClient:
             )
         if precision is not None:
             payload["precision"] = _precision_payload(precision)
+        if rules is not None:
+            payload["rules"] = rules
         data = self._request("POST", "/sweep", payload)
         return SweepResult(
             reports=[report_from_dict(item) for item in data["reports"]],
@@ -213,6 +253,10 @@ class ServiceClient:
                 for skip in data["skipped"]
             ],
             stats=data["stats"],
+            verdicts=[
+                [Verdict.from_dict(v) for v in entry]
+                for entry in data.get("verdicts", [])
+            ],
             raw=data,
         )
 

@@ -30,6 +30,9 @@ from repro.dse.campaign import Campaign
 from repro.hw.datatypes import Precision
 from repro.runtime import BatchEvaluator, RunStats
 from repro.runtime.fingerprint import context_fingerprint
+from repro.rules import BUILTIN_RESOURCES
+from repro.rules import REGISTRY as RULES
+from repro.rules.engine import evaluate_rules
 from repro.service.schema import (
     BoardRegisterRequest,
     CampaignRequest,
@@ -37,6 +40,7 @@ from repro.service.schema import (
     EvaluateRequest,
     ModelRegisterRequest,
     RequestError,
+    RulesetRegisterRequest,
     SweepRequest,
     precision_to_dict,
 )
@@ -422,6 +426,23 @@ def handle_boards(state: ServiceState) -> Response:
     return 200, {"boards": boards}
 
 
+def handle_rules_list(state: ServiceState) -> Response:
+    """``GET /rules``: every registered constraint ruleset, with definitions."""
+    rulesets = []
+    for name in RULES.ruleset_names():
+        definition = RULES.ruleset_definition(name)
+        rulesets.append(
+            {
+                "name": name,
+                "description": definition.get("description", ""),
+                "rule_count": len(definition.get("rules", [])),
+                "custom": not RULES.is_builtin_ruleset(name),
+                "definition": definition,
+            }
+        )
+    return 200, {"rulesets": rulesets}
+
+
 # --- POST endpoints -----------------------------------------------------------
 
 
@@ -461,6 +482,46 @@ def handle_board_register(
     return 201, definition
 
 
+def handle_ruleset_register(
+    state: ServiceState, request: RulesetRegisterRequest
+) -> Response:
+    """``POST /rules``: register a constraint ruleset (in-memory).
+
+    Conflicts surface as 409 ``workload_conflict``; malformed rule schemas
+    as 400 ``rule_error``. Returns 201 with the catalog entry.
+    """
+    name = RULES.register_ruleset(
+        request.definition, replace=request.replace, source="http"
+    )
+    definition = RULES.ruleset_definition(name)
+    return 201, {
+        "name": name,
+        "description": definition.get("description", ""),
+        "rule_count": len(definition.get("rules", [])),
+        "custom": True,
+        "definition": definition,
+    }
+
+
+def _verdict_dicts(request, report, board) -> list:
+    """Rule verdicts for one wire response, as plain dicts.
+
+    Verdicts are carried at the *top level* of service responses — never
+    inside the report dict — so wire reports stay byte-identical to the
+    library's rules-off form (the CI smoke test compares them against the
+    CLI's output). With no ``rules`` requested, the pre-registered
+    ``builtin:resources`` ruleset evaluates, making the report's
+    ``fits_onchip`` boolean and its verdict two views of one code path.
+    """
+    if report is None:
+        return []
+    name = request.rules if request.rules is not None else BUILTIN_RESOURCES
+    verdicts = evaluate_rules(
+        report, name, board=board, precision=request.precision
+    )
+    return [verdict.to_dict() for verdict in verdicts]
+
+
 def handle_evaluate(state: ServiceState, request: EvaluateRequest) -> Response:
     evaluator, lock = state.evaluator_for(request.model, request.board, request.precision)
     base = {
@@ -469,6 +530,7 @@ def handle_evaluate(state: ServiceState, request: EvaluateRequest) -> Response:
         "architecture": request.architecture,
         "ce_count": request.ce_count,
         "precision": precision_to_dict(request.precision),
+        "rules": request.rules if request.rules is not None else BUILTIN_RESOURCES,
     }
     try:
         spec = _resolve_spec(evaluator, request.architecture, request.ce_count)
@@ -477,7 +539,7 @@ def handle_evaluate(state: ServiceState, request: EvaluateRequest) -> Response:
         # layers): an answer, not an error — same contract as api.sweep.
         base.update(
             {"feasible": False, "cached": False, "report": None,
-             "reason": f"{type(error).__name__}: {error}"}
+             "reason": f"{type(error).__name__}: {error}", "verdicts": []}
         )
         return 200, base
     with lock:
@@ -489,6 +551,7 @@ def handle_evaluate(state: ServiceState, request: EvaluateRequest) -> Response:
             "fingerprint": evaluator.key_for(spec),
             "report": report_to_dict(item.report) if item.report is not None else None,
             "reason": item.reason,
+            "verdicts": _verdict_dicts(request, item.report, evaluator.board),
         }
     )
     return 200, base
@@ -511,6 +574,14 @@ def handle_sweep(state: ServiceState, request: SweepRequest) -> Response:
             "model": request.model,
             "board": request.board,
             "precision": precision_to_dict(request.precision),
+            "rules": request.rules
+            if request.rules is not None
+            else BUILTIN_RESOURCES,
+            # Aligned with "reports": verdicts[i] judges reports[i].
+            "verdicts": [
+                _verdict_dicts(request, report, evaluator.board)
+                for report in result
+            ],
         }
     )
     return 200, payload

@@ -27,10 +27,12 @@ from repro.hw.datatypes import (
     precision_from_names,
     precision_to_dict,  # noqa: F401  (re-exported: the wire form of Precision)
 )
+from repro.rules import REGISTRY as RULES
 from repro.utils.errors import (
     MCCMError,
     NotationError,
     ResourceError,
+    RuleError,
     ShapeError,
     UnknownWorkloadError,
     ValidationError,
@@ -82,8 +84,11 @@ _ERROR_MAP: Tuple[Tuple[type, Tuple[int, str]], ...] = (
     (ShapeError, (400, "shape_error")),
     (ValidationError, (400, "validation_error")),
     (ResourceError, (422, "resource_error")),
+    # Malformed rule/ruleset schemas are client errors, like workload ones.
+    (RuleError, (400, "rule_error")),
     # Workload-registry errors: unknown names are 404s (with suggestions in
     # the payload), registration collisions are 409s, schema problems 400s.
+    # Rulesets share this taxonomy (kind "ruleset").
     (UnknownWorkloadError, (404, "unknown_workload")),
     (WorkloadConflictError, (409, "workload_conflict")),
     (WorkloadError, (400, "workload_error")),
@@ -186,6 +191,22 @@ def _board_field(payload: Mapping[str, Any]) -> str:
         ) from None
 
 
+def _ruleset_field(payload: Mapping[str, Any]) -> Optional[str]:
+    """Optional ``rules`` field: a registered ruleset name, or ``None``."""
+    if "rules" not in payload or payload["rules"] is None:
+        return None
+    name = _string_field(payload, "rules").lower()
+    try:
+        return RULES.canonical_ruleset_name(name)
+    except UnknownWorkloadError as error:
+        raise RequestError(
+            str(error),
+            status=404,
+            kind="unknown_ruleset",
+            extra={"suggestion": error.suggestion, "available": error.available},
+        ) from None
+
+
 def parse_precision(value: Any) -> Precision:
     """``{"weights": "int16", "activations": "int8"}`` -> :class:`Precision`."""
     if value is None:
@@ -214,6 +235,7 @@ class EvaluateRequest:
     architecture: str
     ce_count: Optional[int] = None
     precision: Precision = DEFAULT_PRECISION
+    rules: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -225,6 +247,7 @@ class SweepRequest:
     architectures: Optional[Tuple[str, ...]] = None
     ce_counts: Optional[Tuple[int, ...]] = None
     precision: Precision = DEFAULT_PRECISION
+    rules: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -241,13 +264,16 @@ class DseRequest:
 
 def parse_evaluate(payload: Any) -> EvaluateRequest:
     body = _require_mapping(payload)
-    _reject_unknown(body, ("model", "board", "architecture", "ce_count", "precision"))
+    _reject_unknown(
+        body, ("model", "board", "architecture", "ce_count", "precision", "rules")
+    )
     return EvaluateRequest(
         model=_model_field(body),
         board=_board_field(body),
         architecture=_string_field(body, "architecture"),
         ce_count=_int_field(body, "ce_count", minimum=1),
         precision=parse_precision(body.get("precision")),
+        rules=_ruleset_field(body),
     )
 
 
@@ -278,7 +304,9 @@ def _ce_counts_field(body: Mapping[str, Any]) -> Optional[Tuple[int, ...]]:
 
 def parse_sweep(payload: Any) -> SweepRequest:
     body = _require_mapping(payload)
-    _reject_unknown(body, ("model", "board", "architectures", "ce_counts", "precision"))
+    _reject_unknown(
+        body, ("model", "board", "architectures", "ce_counts", "precision", "rules")
+    )
     architectures = body.get("architectures")
     if architectures is not None:
         if not isinstance(architectures, (list, tuple)) or not architectures:
@@ -292,6 +320,7 @@ def parse_sweep(payload: Any) -> SweepRequest:
         architectures=architectures,
         ce_counts=_ce_counts_field(body),
         precision=parse_precision(body.get("precision")),
+        rules=_ruleset_field(body),
     )
 
 
@@ -348,6 +377,34 @@ def parse_board_register(payload: Any) -> BoardRegisterRequest:
             "missing or bad field 'board' (the board JSON object; see docs/api.md)"
         )
     return BoardRegisterRequest(
+        definition=dict(definition), replace=_bool_field(body, "replace")
+    )
+
+
+@dataclass(frozen=True)
+class RulesetRegisterRequest:
+    """Validated body of ``POST /rules``."""
+
+    definition: Dict[str, Any]
+    replace: bool = False
+
+
+def parse_ruleset_register(payload: Any) -> RulesetRegisterRequest:
+    """``{"ruleset": {...ruleset schema...}, "replace": false}``.
+
+    The ruleset schema itself (:mod:`repro.rules.schema`) is validated by
+    the rule registry at registration time; malformed rules surface as
+    structured 400 ``rule_error`` payloads via the error map.
+    """
+    body = _require_mapping(payload)
+    _reject_unknown(body, ("ruleset", "replace"))
+    definition = body.get("ruleset")
+    if not isinstance(definition, Mapping):
+        raise RequestError(
+            "missing or bad field 'ruleset' (the ruleset JSON object; "
+            "see docs/rules.md)"
+        )
+    return RulesetRegisterRequest(
         definition=dict(definition), replace=_bool_field(body, "replace")
     )
 

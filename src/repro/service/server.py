@@ -46,6 +46,7 @@ ROUTES: Dict[str, Dict[str, Tuple[Optional[Callable], Callable]]] = {
         "/healthz": (None, handlers.handle_healthz),
         "/models": (None, handlers.handle_models),
         "/boards": (None, handlers.handle_boards),
+        "/rules": (None, handlers.handle_rules_list),
         "/campaign": (None, handlers.handle_campaign_list),
     },
     "POST": {
@@ -53,9 +54,10 @@ ROUTES: Dict[str, Dict[str, Tuple[Optional[Callable], Callable]]] = {
         "/sweep": (schema.parse_sweep, handlers.handle_sweep),
         "/dse": (schema.parse_dse, handlers.handle_dse),
         "/campaign": (schema.parse_campaign, handlers.handle_campaign_start),
-        # Workload registration: GET lists reflect these immediately.
+        # Workload/ruleset registration: GET lists reflect these immediately.
         "/models": (schema.parse_model_register, handlers.handle_model_register),
         "/boards": (schema.parse_board_register, handlers.handle_board_register),
+        "/rules": (schema.parse_ruleset_register, handlers.handle_ruleset_register),
     },
 }
 

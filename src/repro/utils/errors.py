@@ -52,6 +52,18 @@ class WorkloadError(MCCMError):
     """
 
 
+class RuleError(MCCMError):
+    """A constraint rule or ruleset definition is malformed or unusable.
+
+    Covers schema problems in rule/ruleset JSON (unknown metrics, bad
+    comparators, bad units) and evaluation-context gaps (a rule needs the
+    request precision but none was supplied). Name collisions on
+    registration keep raising :class:`WorkloadConflictError` and unknown
+    ruleset lookups :class:`UnknownWorkloadError`, so the service's 409/404
+    taxonomy is shared with the workload registry.
+    """
+
+
 class WorkloadConflictError(WorkloadError):
     """A registration collides with an existing model or board.
 

@@ -66,6 +66,17 @@ def _isolated_workload_dir(monkeypatch, tmp_path):
     monkeypatch.setenv("MCCM_WORKLOAD_DIR", str(tmp_path / "mccm-workloads"))
 
 
+@pytest.fixture(autouse=True)
+def _isolated_rule_dir(monkeypatch, tmp_path):
+    """Same hermeticity for the persistent constraint-ruleset directory.
+
+    ``cli.main()`` loads ``$MCCM_RULE_DIR`` (default ``~/.mccm/rules``)
+    right after the workload directory; ``repro rules register`` also
+    saves there by default.
+    """
+    monkeypatch.setenv("MCCM_RULE_DIR", str(tmp_path / "mccm-rules"))
+
+
 def build_tiny_cnn():
     """An 8-conv-layer CNN with one residual add, small enough for fast tests."""
     net = NetBuilder("TinyNet", (32, 32, 3))

@@ -406,3 +406,119 @@ class TestCustomWorkloadCampaigns:
         custom_workloads.register_model(edited, replace=True)
         with pytest.raises(CampaignError):
             resume_campaign(interrupted)
+
+
+class TestRulesConstrainedCampaigns:
+    """``CampaignSpec.rules`` makes fail-severity verdicts hard archive
+    constraints, and the checkpoint embeds the ruleset so a kill -9 resume
+    in a fresh process replays byte-identically and violator-free."""
+
+    BASE_SPEC = {
+        "name": "slo-campaign",
+        "seed": 7,
+        "strategy": "evolve",
+        "population": 6,
+        "generations": 2,
+        "cells": [{"model": "squeezenet", "board": "zc706"}],
+    }
+
+    @pytest.fixture(scope="class")
+    def slo_threshold(self, tmp_path_factory):
+        """A buffer bound from the middle of the *unconstrained* front, so
+        the constrained campaign provably rejects some evaluated designs."""
+        unconstrained = run_campaign(CampaignSpec.from_dict(self.BASE_SPEC))
+        buffers = sorted(
+            report.buffer_requirement_mib
+            for _design, report in unconstrained.cells[0].front
+        )
+        assert buffers[0] < buffers[-1], "degenerate front; cannot split it"
+        return (buffers[0] + buffers[-1]) / 2
+
+    @pytest.fixture
+    def slo_ruleset(self, slo_threshold):
+        from repro import rules
+
+        rules.register_ruleset(
+            {
+                "name": "camp-slo",
+                "rules": [
+                    {
+                        "name": "buffers",
+                        "metric": "buffer_mib",
+                        "op": "<=",
+                        "threshold": slo_threshold,
+                    }
+                ],
+            },
+            replace=True,
+        )
+        yield "camp-slo"
+        if rules.REGISTRY.has_ruleset("camp-slo"):
+            rules.unregister_ruleset("camp-slo")
+
+    def _spec(self, ruleset):
+        return CampaignSpec.from_dict({**self.BASE_SPEC, "rules": ruleset})
+
+    def test_rules_key_emitted_only_when_set(self, slo_ruleset):
+        bare = CampaignSpec.from_dict(self.BASE_SPEC)
+        assert "rules" not in bare.to_dict()
+        constrained = self._spec(slo_ruleset)
+        assert constrained.to_dict()["rules"] == slo_ruleset
+        # Fingerprints must differ: the constraint changes the campaign.
+        assert constrained.fingerprint() != bare.fingerprint()
+
+    def test_unknown_ruleset_rejected_at_parse(self):
+        with pytest.raises(UnknownWorkloadError):
+            self._spec("no-such-slo")
+
+    def test_front_has_zero_violators(self, slo_ruleset, slo_threshold):
+        result = run_campaign(self._spec(slo_ruleset))
+        front = result.cells[0].front
+        assert front, "SLO constraint wiped out the entire front"
+        assert all(
+            report.buffer_requirement_mib <= slo_threshold
+            for _design, report in front
+        )
+
+    def test_checkpoint_embeds_ruleset(self, slo_ruleset, tmp_path):
+        path = tmp_path / "slo.json"
+        run_campaign(self._spec(slo_ruleset), path, max_rounds=1)
+        data = json.loads(path.read_text())
+        assert data["rulesets"][slo_ruleset]["rules"][0]["metric"] == "buffer_mib"
+
+    def test_builtin_rules_checkpoint_embeds_nothing(self, tmp_path):
+        from repro.rules import BUILTIN_RESOURCES
+
+        path = tmp_path / "builtin.json"
+        spec = CampaignSpec.from_dict(
+            {**self.BASE_SPEC, "rules": BUILTIN_RESOURCES}
+        )
+        run_campaign(spec, path, max_rounds=1)
+        data = json.loads(path.read_text())
+        assert data["rulesets"] == {}
+
+    def test_kill_resume_is_byte_identical_and_violator_free(
+        self, slo_ruleset, slo_threshold, tmp_path
+    ):
+        from repro import rules
+
+        spec = self._spec(slo_ruleset)
+        reference = run_campaign(spec, tmp_path / "ref.json")
+        interrupted = tmp_path / "interrupted.json"
+        partial = run_campaign(spec, interrupted, max_rounds=1)
+        assert not partial.done
+
+        # A fresh process has never seen the ruleset: wipe it before resume.
+        rules.unregister_ruleset(slo_ruleset)
+
+        resumed = resume_campaign(interrupted)
+        assert resumed.done
+        assert fronts_of(resumed) == fronts_of(reference)
+        assert resumed.front_csv() == reference.front_csv()
+        # The checkpoint restored the ruleset registration on load...
+        assert rules.REGISTRY.has_ruleset(slo_ruleset)
+        # ...and the resumed front still honors the constraint.
+        assert all(
+            report.buffer_requirement_mib <= slo_threshold
+            for _design, report in resumed.cells[0].front
+        )
