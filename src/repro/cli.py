@@ -9,7 +9,11 @@ Subcommands mirror the library's use cases:
   strategies) and print the Pareto front.
 * ``campaign`` — ``run`` / ``resume`` / ``status`` of checkpointed,
   resumable multi-objective DSE campaigns (``docs/dse.md``).
-* ``serve`` — the concurrent HTTP evaluation service (``docs/api.md``).
+* ``serve`` — the concurrent HTTP evaluation service (``docs/api.md``);
+  ``--workers N`` pre-forks a supervised multi-worker fleet sharing one
+  port and disk cache.
+* ``loadtest`` — open-loop Poisson load generator for the service:
+  saturation curve, p50/p95/p99 latency, error taxonomy.
 * ``bench`` — time the evaluation hot path: cold vs segment-cached vs
   fingerprint-cached (``docs/performance.md``).
 * ``models`` / ``boards`` — ``list`` the registered CNNs and FPGAs or
@@ -29,6 +33,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.utils.errors import MCCMError
@@ -397,7 +402,67 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     # Imported here so plain CLI runs never pay for the service module.
     from repro.service.server import serve
 
-    return serve(args.host, args.port, jobs=args.jobs, cache_dir=args.cache)
+    return serve(
+        args.host,
+        args.port,
+        jobs=args.jobs,
+        cache_dir=args.cache,
+        workers=args.workers,
+        max_inflight=args.max_inflight,
+    )
+
+
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    from repro.service.loadtest import (
+        format_loadtest,
+        run_loadtest,
+        run_worker_comparison,
+    )
+
+    try:
+        rates = [float(rate) for rate in args.rates.split(",") if rate.strip()]
+    except ValueError:
+        raise MCCMError(
+            f"--rates must be comma-separated numbers, got {args.rates!r}"
+        ) from None
+    if any(rate <= 0 for rate in rates):
+        raise MCCMError(f"--rates must all be positive, got {args.rates!r}")
+    if args.url is not None:
+        result = run_loadtest(
+            args.url,
+            rates=rates,
+            duration=args.duration,
+            seed=args.seed,
+            model=args.model,
+            board=args.board,
+            client_threads=args.client_threads,
+        )
+    else:
+        try:
+            worker_counts = [int(n) for n in args.workers.split(",") if n.strip()]
+        except ValueError:
+            raise MCCMError(
+                f"--workers must be comma-separated integers, got {args.workers!r}"
+            ) from None
+        if not worker_counts or any(n < 1 for n in worker_counts):
+            raise MCCMError(f"--workers needs counts >= 1, got {args.workers!r}")
+        result = run_worker_comparison(
+            worker_counts,
+            rates=rates,
+            duration=args.duration,
+            seed=args.seed,
+            model=args.model,
+            board=args.board,
+            client_threads=args.client_threads,
+            jobs=args.jobs,
+        )
+    if args.output is not None:
+        Path(args.output).write_text(json.dumps(result, indent=2) + "\n")
+    if args.json:
+        print(json.dumps(result, indent=2))
+    else:
+        print(format_loadtest(result), end="")
+    return 0
 
 
 def _cmd_models_list(args: argparse.Namespace) -> int:
@@ -695,8 +760,85 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cmd.add_argument("--host", default="127.0.0.1", help="bind address")
     cmd.add_argument("--port", type=int, default=8100, help="bind port (0 = ephemeral)")
+    cmd.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help=(
+            "pre-forked worker processes sharing the port and disk cache "
+            "(supervisor restarts crashed workers; SIGTERM drains gracefully)"
+        ),
+    )
+    cmd.add_argument(
+        "--max-inflight",
+        type=_positive_int,
+        default=64,
+        metavar="N",
+        help=(
+            "per-worker bound on concurrent model-work requests before the "
+            "service answers 429 backpressure (default 64)"
+        ),
+    )
     _add_runtime(cmd)
     cmd.set_defaults(func=_cmd_serve)
+
+    cmd = commands.add_parser(
+        "loadtest",
+        help="open-loop Poisson load test against the HTTP service",
+    )
+    cmd.add_argument(
+        "--url",
+        default=None,
+        help="measure a running service instead of spawning servers",
+    )
+    cmd.add_argument(
+        "--workers",
+        default="1",
+        metavar="N[,N...]",
+        help=(
+            "worker counts to spawn and compare when no --url is given "
+            "(e.g. '1,4'; default '1')"
+        ),
+    )
+    cmd.add_argument(
+        "--rates",
+        default="50,100,200,400",
+        metavar="R[,R...]",
+        help="target request rates (req/s) for the ramp stages",
+    )
+    cmd.add_argument(
+        "--duration",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="seconds per ramp stage (default 2.0)",
+    )
+    cmd.add_argument("--seed", type=int, default=0, help="arrival-process seed")
+    cmd.add_argument("--model", default="squeezenet", help="model for the request mix")
+    cmd.add_argument("--board", default="zc706", help="board for the request mix")
+    cmd.add_argument(
+        "--client-threads",
+        type=_positive_int,
+        default=64,
+        metavar="N",
+        help="client threads firing requests (default 64)",
+    )
+    cmd.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="also write the full result JSON to FILE",
+    )
+    cmd.add_argument(
+        "--json", action="store_true", help="print the result JSON instead of the table"
+    )
+    cmd.add_argument(
+        "--jobs",
+        type=_jobs_value,
+        default=1,
+        help="evaluation worker processes inside each spawned server",
+    )
+    cmd.set_defaults(func=_cmd_loadtest)
 
     cmd = commands.add_parser("models", help="list or register CNN models")
     cmd.set_defaults(func=_cmd_models_list)

@@ -7,15 +7,19 @@ just to fail again.
 
 The disk cache writes one JSON document per key, sharded into 256
 two-hex-digit subdirectories to keep directory listings sane at DSE scale,
-and writes atomically (tempfile + rename) so concurrent runs sharing a
-cache directory never observe torn files.
+and writes atomically (tempfile + fsync + rename) so concurrent readers —
+including sibling worker processes sharing the directory — never observe
+torn files.  A sqlite index alongside the entries makes entry counts O(1)
+for the service /healthz endpoint instead of a directory walk.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import sqlite3
 import tempfile
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -81,8 +85,95 @@ class LRUCache:
         self._entries.clear()
 
 
+class _CacheIndex:
+    """Sqlite key index shared by every process using one cache directory.
+
+    Purely an acceleration structure: the JSON entry files stay the source
+    of truth, so a corrupt or missing index degrades to a directory walk
+    rather than to wrong answers.  WAL mode plus a busy timeout lets N
+    pre-forked service workers record entries concurrently.
+    """
+
+    def __init__(self, directory: Path) -> None:
+        self.path = directory / "index.sqlite3"
+        self._lock = threading.Lock()
+        self._connection: Optional[sqlite3.Connection] = None
+        try:
+            connection = sqlite3.connect(
+                str(self.path), timeout=5.0, check_same_thread=False
+            )
+            connection.execute("PRAGMA journal_mode=WAL")
+            connection.execute("PRAGMA synchronous=NORMAL")
+            connection.execute(
+                "CREATE TABLE IF NOT EXISTS entries (key TEXT PRIMARY KEY)"
+            )
+            connection.commit()
+            self._connection = connection
+        except sqlite3.Error:
+            self._connection = None
+
+    @property
+    def available(self) -> bool:
+        return self._connection is not None
+
+    def record(self, key: str) -> None:
+        if self._connection is None:
+            return
+        try:
+            with self._lock:
+                self._connection.execute(
+                    "INSERT OR IGNORE INTO entries (key) VALUES (?)", (key,)
+                )
+                self._connection.commit()
+        except sqlite3.Error:
+            self._disable()
+
+    def count(self) -> Optional[int]:
+        if self._connection is None:
+            return None
+        try:
+            with self._lock:
+                row = self._connection.execute(
+                    "SELECT COUNT(*) FROM entries"
+                ).fetchone()
+            return int(row[0])
+        except sqlite3.Error:
+            self._disable()
+            return None
+
+    def reconcile(self, keys) -> None:
+        """Bulk-register keys found on disk but missing from the index."""
+        if self._connection is None:
+            return
+        try:
+            with self._lock:
+                self._connection.executemany(
+                    "INSERT OR IGNORE INTO entries (key) VALUES (?)",
+                    ((key,) for key in keys),
+                )
+                self._connection.commit()
+        except sqlite3.Error:
+            self._disable()
+
+    def _disable(self) -> None:
+        connection, self._connection = self._connection, None
+        if connection is not None:
+            try:
+                connection.close()
+            except sqlite3.Error:
+                pass
+
+    def close(self) -> None:
+        self._disable()
+
+
 class DiskCache:
-    """One-JSON-file-per-key persistent store under a cache directory."""
+    """One-JSON-file-per-key persistent store under a cache directory.
+
+    Safe to share between processes: writes are tempfile + fsync + rename,
+    so a reader (or a worker that crashed mid-write and restarted) either
+    sees a complete document or nothing.
+    """
 
     def __init__(self, directory: Union[str, Path]) -> None:
         self.directory = Path(directory)
@@ -95,6 +186,12 @@ class DiskCache:
             ) from error
         self.hits = 0
         self.misses = 0
+        self._index = _CacheIndex(self.directory)
+        if self._index.available and not self._index.count():
+            # A fresh index over a directory that already has entries (made
+            # by an older version, or rebuilt after deletion) is seeded from
+            # one directory walk; after that every put() keeps it current.
+            self._index.reconcile(path.stem for path in self._entry_paths())
 
     def _path(self, key: str) -> Path:
         return self.directory / key[:2] / f"{key}.json"
@@ -129,6 +226,11 @@ class DiskCache:
         try:
             with os.fdopen(handle, "w") as stream:
                 json.dump(payload, stream)
+                # Flush + fsync before the rename: without it a crash can
+                # leave the rename durable but the contents empty, which a
+                # sibling worker would then read as a torn entry.
+                stream.flush()
+                os.fsync(stream.fileno())
             os.replace(temp_name, path)
         except BaseException:
             try:
@@ -136,11 +238,22 @@ class DiskCache:
             except OSError:
                 pass
             raise
+        self._index.record(key)
 
-    def __len__(self) -> int:
+    def _entry_paths(self):
         # Exclude .tmp-* files a killed run may have orphaned mid-write.
-        return sum(
-            1
+        return (
+            path
             for path in self.directory.glob("*/*.json")
             if not path.name.startswith(".")
         )
+
+    def __len__(self) -> int:
+        count = self._index.count()
+        if count is not None:
+            return count
+        return sum(1 for _ in self._entry_paths())
+
+    def close(self) -> None:
+        """Release the index connection (entry files need no teardown)."""
+        self._index.close()

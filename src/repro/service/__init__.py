@@ -8,9 +8,15 @@ from every other client's evaluations.
 
 * :class:`~repro.service.server.EvaluationService` / ``repro serve`` — the
   server (embeddable or CLI-run).
+* :class:`~repro.service.supervisor.Supervisor` / ``repro serve
+  --workers N`` — the pre-forked multi-worker front: crash restarts,
+  graceful SIGTERM draining, a shared cross-process disk cache, and
+  fleet-aggregated ``/healthz``.
 * :class:`~repro.service.client.ServiceClient` — a thin stdlib client whose
   responses deserialize back into :class:`~repro.core.cost.results.CostReport`
   objects, bit-identical to in-process ``api.evaluate`` results.
+* :mod:`~repro.service.loadtest` / ``repro loadtest`` — open-loop Poisson
+  load generator producing the req/s-vs-workers saturation curve.
 * :mod:`~repro.service.schema` — request validation and the typed JSON
   error payloads.
 
@@ -25,17 +31,23 @@ from repro.service.client import (
     SweepResult,
 )
 from repro.service.handlers import ServiceState
+from repro.service.loadtest import format_loadtest, run_loadtest, run_worker_comparison
 from repro.service.schema import RequestError
 from repro.service.server import EvaluationService, serve
+from repro.service.supervisor import Supervisor
 
 __all__ = [
     "EvaluationService",
     "ServiceClient",
     "ServiceError",
     "ServiceState",
+    "Supervisor",
     "RequestError",
     "EvaluateResult",
     "SweepResult",
     "DseResult",
     "serve",
+    "run_loadtest",
+    "run_worker_comparison",
+    "format_loadtest",
 ]

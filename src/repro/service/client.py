@@ -5,6 +5,11 @@ responses carry a :class:`~repro.core.cost.results.CostReport` rebuilt
 through the lossless JSON round-trip, so a report fetched over HTTP
 compares equal (``==``) to one computed in-process by ``api.evaluate``.
 
+Connections are kept alive (one ``http.client`` connection per thread)
+and idempotent GETs are retried once after a short backoff when the
+connection drops — a worker being restarted by the multi-worker
+supervisor then looks like one slow poll, not a client crash.
+
 >>> client = ServiceClient("http://127.0.0.1:8100")      # doctest: +SKIP
 >>> result = client.evaluate("resnet50", "zc706", "segmentedrr", ce_count=2)
 >>> result.report.throughput_fps                          # doctest: +SKIP
@@ -12,10 +17,11 @@ compares equal (``==``) to one computed in-process by ``api.evaluate``.
 
 from __future__ import annotations
 
+import http.client
 import json
+import threading
 import time
-import urllib.error
-import urllib.request
+import urllib.parse
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
@@ -31,12 +37,23 @@ PrecisionLike = Union[None, Precision, Dict[str, str]]
 
 
 class ServiceError(MCCMError):
-    """A non-2xx service response, carrying the typed error payload."""
+    """A non-2xx service response, carrying the typed error payload.
 
-    def __init__(self, status: int, kind: str, message: str):
+    ``retry_after`` (seconds, or None) mirrors the server's Retry-After
+    hint on transient refusals (429 ``backpressure``, 503 ``draining``).
+    """
+
+    def __init__(
+        self,
+        status: int,
+        kind: str,
+        message: str,
+        retry_after: Optional[int] = None,
+    ):
         super().__init__(message)
         self.status = status
         self.kind = kind
+        self.retry_after = retry_after
 
     def __str__(self) -> str:
         return f"[{self.status} {self.kind}] {super().__str__()}"
@@ -85,6 +102,15 @@ class DseResult:
     raw: Dict[str, Any] = field(repr=False, default_factory=dict)
 
 
+def _parse_retry_after(header: Optional[str]) -> Optional[int]:
+    if header is None:
+        return None
+    try:
+        return int(header)
+    except ValueError:
+        return None
+
+
 def _precision_payload(precision: PrecisionLike) -> Optional[Dict[str, str]]:
     if precision is None:
         return None
@@ -93,43 +119,116 @@ def _precision_payload(precision: PrecisionLike) -> Optional[Dict[str, str]]:
     return dict(precision)
 
 
+#: Backoff before the single idempotent-GET retry, long enough for a
+#: restarting worker to come back up under a loaded supervisor.
+RETRY_BACKOFF_SECONDS = 0.1
+
+
 class ServiceClient:
-    """Talk to an :class:`~repro.service.server.EvaluationService`."""
+    """Talk to an :class:`~repro.service.server.EvaluationService`.
+
+    Thread-safe: connections are per-thread (``threading.local``), so one
+    client instance can be shared across a thread pool and each thread
+    keeps its own persistent connection.
+    """
 
     def __init__(self, base_url: str, timeout: float = 60.0) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        parsed = urllib.parse.urlsplit(self.base_url)
+        if parsed.scheme not in ("http", "https") or parsed.hostname is None:
+            raise MCCMError(
+                f"service URL must look like http://host:port, got {base_url!r}"
+            )
+        self._scheme = parsed.scheme
+        self._host = parsed.hostname
+        self._port = parsed.port or (443 if parsed.scheme == "https" else 80)
+        self._prefix = parsed.path.rstrip("/")
+        self._local = threading.local()
 
     # --- transport -----------------------------------------------------------
-    def _request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
-        request = urllib.request.Request(
-            f"{self.base_url}{path}",
-            method=method,
-            data=None if payload is None else json.dumps(payload).encode("utf-8"),
-            headers={"Content-Type": "application/json"},
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as error:
+    def _connection(self) -> http.client.HTTPConnection:
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            factory = (
+                http.client.HTTPSConnection
+                if self._scheme == "https"
+                else http.client.HTTPConnection
+            )
+            connection = factory(self._host, self._port, timeout=self.timeout)
+            self._local.connection = connection
+        return connection
+
+    def _drop_connection(self) -> None:
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            self._local.connection = None
             try:
-                detail = json.loads(error.read().decode("utf-8"))["error"]
-            except Exception:
-                detail = {"kind": "http_error", "message": str(error)}
-            raise ServiceError(
-                error.code, detail.get("kind", "http_error"),
-                detail.get("message", str(error)),
-            ) from None
-        except urllib.error.URLError as error:
-            raise ServiceError(
-                0, "connection_error", f"cannot reach {self.base_url}: {error.reason}"
-            ) from None
-        except OSError as error:
-            # Resets/timeouts mid-request arrive as bare socket errors, not
-            # URLError; keep the typed-ServiceError contract.
-            raise ServiceError(
-                0, "connection_error", f"connection to {self.base_url} failed: {error}"
-            ) from None
+                connection.close()
+            except Exception:  # noqa: BLE001 - teardown must not mask errors
+                pass
+
+    def close(self) -> None:
+        """Close this thread's persistent connection (optional; reopens
+        transparently on the next request)."""
+        self._drop_connection()
+
+    def _request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        # Only GETs are idempotent here (every POST does model work or
+        # registration), so only they earn the one automatic retry.
+        attempts = 2 if method == "GET" else 1
+        for attempt in range(attempts):
+            connection = self._connection()
+            try:
+                connection.request(
+                    method,
+                    f"{self._prefix}{path}",
+                    body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = connection.getresponse()
+                raw = response.read()
+                status = response.status
+                retry_after = _parse_retry_after(response.getheader("Retry-After"))
+                if response.will_close:
+                    # The server announced the close (it does on every
+                    # error); reusing the socket would hit a dead peer.
+                    self._drop_connection()
+            except (OSError, http.client.HTTPException) as error:
+                # Covers ConnectionResetError/RemoteDisconnected (a worker
+                # restarting mid-exchange), refused connects, timeouts, and
+                # torn status lines.
+                self._drop_connection()
+                if attempt + 1 < attempts:
+                    time.sleep(RETRY_BACKOFF_SECONDS)
+                    continue
+                raise ServiceError(
+                    0,
+                    "connection_error",
+                    f"connection to {self.base_url} failed: {error}",
+                ) from None
+            if status >= 400:
+                try:
+                    detail = json.loads(raw.decode("utf-8"))["error"]
+                except Exception:
+                    detail = {"kind": "http_error", "message": f"HTTP {status}"}
+                raise ServiceError(
+                    status,
+                    detail.get("kind", "http_error"),
+                    detail.get("message", f"HTTP {status}"),
+                    retry_after=detail.get("retry_after", retry_after),
+                ) from None
+            try:
+                return json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError) as error:
+                self._drop_connection()
+                raise ServiceError(
+                    0,
+                    "protocol_error",
+                    f"service sent a non-JSON response: {error}",
+                ) from None
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # --- GET endpoints -------------------------------------------------------
     def healthz(self) -> Dict[str, Any]:

@@ -15,9 +15,14 @@ adds the HTTP plumbing.
 
 from __future__ import annotations
 
+import json
+import os
+import re
+import tempfile
 import threading
 import time
-from typing import Any, Dict, Optional, Tuple, Union
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple, Union
 
 import repro
 from repro.api import sweep
@@ -29,6 +34,7 @@ from repro.dse import CustomDesignSpace, DesignEvaluator, random_search
 from repro.dse.campaign import Campaign
 from repro.hw.datatypes import Precision
 from repro.runtime import BatchEvaluator, RunStats
+from repro.runtime.cache import DiskCache
 from repro.runtime.fingerprint import context_fingerprint
 from repro.rules import BUILTIN_RESOURCES
 from repro.rules import REGISTRY as RULES
@@ -65,6 +71,62 @@ MAX_RUNNING_CAMPAIGNS = 4
 #: least-recently-used context beyond this cap is closed and dropped.
 MAX_EVALUATOR_CONTEXTS = 32
 
+#: Default bound on model-work requests (POSTs) in flight per worker.
+#: Beyond it the server answers a typed 429 with Retry-After instead of
+#: piling up handler threads until the host thrashes.
+DEFAULT_MAX_INFLIGHT = 64
+
+#: How often (seconds) a worker refreshes its status snapshot in the shared
+#: run directory as a side effect of request accounting; /healthz always
+#: forces a fresh write.
+STATUS_WRITE_INTERVAL = 0.25
+
+#: Campaign ids are used as snapshot file names in the shared run
+#: directory; anything outside this alphabet is rejected before it can
+#: traverse paths.
+_CAMPAIGN_ID_RE = re.compile(r"^[A-Za-z0-9_-]+$")
+
+
+def _write_json_atomic(path: Path, payload: Dict[str, Any], *, fsync: bool = True) -> None:
+    """Write one JSON document so concurrent readers never see it torn."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    handle, temp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=".tmp-", suffix=".json"
+    )
+    try:
+        with os.fdopen(handle, "w") as stream:
+            json.dump(payload, stream)
+            if fsync:
+                stream.flush()
+                os.fsync(stream.fileno())
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+
+
+def _read_json(path: Path) -> Optional[Dict[str, Any]]:
+    """One shared-directory document, or None on any read/parse race."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def _sum_counter_dicts(dicts: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge per-worker counter dicts by summing numeric values key-wise."""
+    totals: Dict[str, Any] = {}
+    for entry in dicts:
+        for key, value in entry.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            totals[key] = totals.get(key, 0) + value
+    return totals
+
 
 class CampaignJob:
     """One background campaign: the runner thread plus its lifecycle state.
@@ -75,25 +137,63 @@ class CampaignJob:
     the service's per-context evaluators: a long campaign holding an
     evaluator lock would starve interactive ``/evaluate`` traffic, so each
     cell builds its own evaluator on the campaign thread.
+
+    ``publish`` (optional) is called with the job at start, periodically
+    while running, and once after it settles — the multi-worker front uses
+    it to mirror snapshots into the shared run directory so any worker can
+    answer ``GET /campaign/<id>`` for a job started on this one.
     """
 
-    def __init__(self, campaign_id: str, campaign: Campaign) -> None:
+    def __init__(
+        self,
+        campaign_id: str,
+        campaign: Campaign,
+        publish: Optional[Callable[["CampaignJob"], None]] = None,
+    ) -> None:
         self.id = campaign_id
         self.campaign = campaign
         self.started = time.time()
         self.finished: Optional[float] = None
         self.error: Optional[str] = None
+        self._publish = publish
+        self._publish_lock = threading.Lock()
         self.thread = threading.Thread(
             target=self._run, name=f"repro-campaign-{campaign_id}", daemon=True
         )
 
+    def publish_snapshot(self) -> None:
+        """Mirror the current state to the shared store (best effort)."""
+        if self._publish is None:
+            return
+        try:
+            with self._publish_lock:
+                self._publish(self)
+        except Exception:  # noqa: BLE001 - mirroring must never kill the run
+            pass
+
+    def _refresh_loop(self) -> None:
+        # A late tick racing the final publish is harmless: every publish
+        # serializes under the lock and re-reads the live state, so the
+        # last write always reflects the settled job.
+        while self.finished is None:
+            time.sleep(0.5)
+            self.publish_snapshot()
+
     def _run(self) -> None:
+        self.publish_snapshot()
+        if self._publish is not None:
+            threading.Thread(
+                target=self._refresh_loop,
+                name=f"repro-campaign-{self.id}-mirror",
+                daemon=True,
+            ).start()
         try:
             self.campaign.run()
         except Exception as error:  # noqa: BLE001 - reported via polling
             self.error = f"{type(error).__name__}: {error}"
         finally:
             self.finished = time.time()
+            self.publish_snapshot()
 
     @property
     def state(self) -> str:
@@ -133,6 +233,12 @@ class ServiceState:
     thread; request concurrency still comes from the threading server), and
     ``cache_dir`` an optional on-disk cache shared by every context and
     persisted across service restarts.
+
+    ``max_inflight`` bounds concurrent model-work requests (POSTs) before
+    the server answers 429 ``backpressure``. ``shared_dir`` (set by the
+    multi-worker supervisor) is a run directory shared by sibling worker
+    processes: each worker mirrors its status and campaign snapshots there
+    so ``/healthz`` and ``GET /campaign/<id>`` see the whole fleet.
     """
 
     def __init__(
@@ -142,7 +248,12 @@ class ServiceState:
         cache_dir: Optional[str] = None,
         cache_entries: int = 65536,
         segment_cache_entries: Optional[int] = None,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        shared_dir: Optional[Union[str, Path]] = None,
+        worker_index: Optional[int] = None,
     ) -> None:
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
         self.jobs = jobs
         self.cache_dir = cache_dir
         self.cache_entries = cache_entries
@@ -170,6 +281,128 @@ class ServiceState:
         self._campaign_lock = threading.Lock()
         self._campaigns: Dict[str, CampaignJob] = {}
         self._campaign_counter = 0
+        # --- multi-worker plumbing (no-ops when shared_dir is None) ---
+        self.max_inflight = max_inflight
+        self.worker_index = worker_index
+        self.pid = os.getpid()
+        self._inflight_lock = threading.Lock()
+        self._inflight = 0
+        #: All requests between dispatch and fully-written response — what
+        #: a draining worker waits out before exiting (the budget counter
+        #: alone would let exit race the final response bytes).
+        self._active = 0
+        self._draining = False
+        self.shared_dir = Path(shared_dir) if shared_dir is not None else None
+        self._status_path: Optional[Path] = None
+        self._last_status_write = 0.0
+        if self.shared_dir is not None:
+            self.workers_dir = self.shared_dir / "workers"
+            self.campaigns_dir = self.shared_dir / "campaigns"
+            self.workers_dir.mkdir(parents=True, exist_ok=True)
+            self.campaigns_dir.mkdir(parents=True, exist_ok=True)
+            self._status_path = self.workers_dir / f"{self.pid}.json"
+        #: O(1) entry counts for /healthz when a disk cache is configured;
+        #: reads through the cache's sqlite index, shared across workers.
+        self._cache_probe = DiskCache(cache_dir) if cache_dir is not None else None
+
+    # --- backpressure and draining -------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_draining(self) -> None:
+        """Enter drain mode: every new request answers 503 ``draining``."""
+        self._draining = True
+
+    @property
+    def inflight(self) -> int:
+        with self._inflight_lock:
+            return self._inflight
+
+    def try_begin_request(self) -> bool:
+        """Claim one slot of the in-flight budget; False when saturated."""
+        with self._inflight_lock:
+            if self._inflight >= self.max_inflight:
+                return False
+            self._inflight += 1
+            return True
+
+    def end_request(self) -> None:
+        with self._inflight_lock:
+            if self._inflight > 0:
+                self._inflight -= 1
+
+    def track_request(self) -> None:
+        with self._inflight_lock:
+            self._active += 1
+
+    def untrack_request(self) -> None:
+        with self._inflight_lock:
+            if self._active > 0:
+                self._active -= 1
+
+    @property
+    def active_requests(self) -> int:
+        """Requests whose responses are not yet fully written."""
+        with self._inflight_lock:
+            return self._active
+
+    # --- shared worker status board ------------------------------------------
+    def worker_status(self) -> Dict[str, Any]:
+        """This worker's status snapshot (one /healthz worth of counters)."""
+        with self._counter_lock:
+            requests = dict(self.request_counts)
+            errors = self.error_count
+        return {
+            "pid": self.pid,
+            "worker": self.worker_index,
+            "started": round(self.started, 3),
+            "updated": round(time.time(), 3),
+            "uptime_seconds": round(time.time() - self.started, 3),
+            "draining": self._draining,
+            "inflight": self.inflight,
+            "max_inflight": self.max_inflight,
+            "evaluators": self.evaluator_count,
+            "requests": requests,
+            "errors": errors,
+            "runtime": self.runtime_totals().to_dict(),
+            "segment_cache": self.segment_cache_totals(),
+            "population_kernel": self.population_kernel_totals(),
+        }
+
+    def write_worker_status(self, force: bool = False) -> None:
+        """Refresh this worker's snapshot in the shared run directory.
+
+        Throttled to :data:`STATUS_WRITE_INTERVAL` so per-request calls stay
+        cheap; best effort — a full disk must not fail the request.
+        """
+        if self._status_path is None:
+            return
+        now = time.monotonic()
+        if not force and now - self._last_status_write < STATUS_WRITE_INTERVAL:
+            return
+        self._last_status_write = now
+        try:
+            _write_json_atomic(self._status_path, self.worker_status(), fsync=False)
+        except OSError:
+            pass
+
+    def read_worker_statuses(self) -> list:
+        """Every sibling worker's latest snapshot (including this one's)."""
+        if self.shared_dir is None:
+            return []
+        statuses = []
+        for path in self.workers_dir.glob("*.json"):
+            status = _read_json(path)
+            if status is not None:
+                statuses.append(status)
+        statuses.sort(key=lambda s: (s.get("worker") or 0, s.get("pid") or 0))
+        return statuses
+
+    def shared_cache_entries(self) -> Optional[int]:
+        if self._cache_probe is None:
+            return None
+        return len(self._cache_probe)
 
     # --- campaign registry ---------------------------------------------------
     def start_campaign(self, campaign: Campaign) -> CampaignJob:
@@ -180,6 +413,7 @@ class ServiceState:
         campaign's archive; running jobs are never evicted. Refuses (429)
         when :data:`MAX_RUNNING_CAMPAIGNS` are already in flight.
         """
+        evicted = []
         with self._campaign_lock:
             running = sum(
                 1 for job in self._campaigns.values() if job.state == "running"
@@ -193,11 +427,22 @@ class ServiceState:
                     kind="too_many_campaigns",
                 )
             self._campaign_counter += 1
-            job = CampaignJob(f"c{self._campaign_counter}", campaign)
+            # In a multi-worker fleet ids carry the owner pid so they stay
+            # unique across workers sharing one campaigns/ directory.
+            if self.shared_dir is not None:
+                campaign_id = f"c{self.pid}-{self._campaign_counter}"
+                publish = self._publish_campaign
+            else:
+                campaign_id = f"c{self._campaign_counter}"
+                publish = None
+            job = CampaignJob(campaign_id, campaign, publish=publish)
             self._campaigns[job.id] = job
             settled = [j for j in self._campaigns.values() if j.state != "running"]
             for stale in settled[: max(0, len(settled) - MAX_RETAINED_CAMPAIGNS)]:
                 del self._campaigns[stale.id]
+                evicted.append(stale.id)
+        for stale_id in evicted:
+            self._discard_campaign_snapshot(stale_id)
         job.thread.start()
         return job
 
@@ -208,6 +453,56 @@ class ServiceState:
     def campaign_jobs(self) -> list:
         with self._campaign_lock:
             return list(self._campaigns.values())
+
+    # --- cross-worker campaign snapshots --------------------------------------
+    def _publish_campaign(self, job: CampaignJob) -> None:
+        """Mirror one job's wire snapshot into the shared campaigns dir."""
+        if self.shared_dir is None:
+            return
+        _write_json_atomic(
+            self.campaigns_dir / f"{job.id}.json", job.to_dict(), fsync=False
+        )
+
+    def _discard_campaign_snapshot(self, campaign_id: str) -> None:
+        if self.shared_dir is None or not _CAMPAIGN_ID_RE.match(campaign_id):
+            return
+        try:
+            (self.campaigns_dir / f"{campaign_id}.json").unlink()
+        except OSError:
+            pass
+
+    def campaign_snapshot(self, campaign_id: str) -> Optional[Dict[str, Any]]:
+        """One campaign's wire payload: a live local job, or — in a worker
+        fleet — the snapshot a sibling worker mirrored to disk."""
+        job = self.campaign_job(campaign_id)
+        if job is not None:
+            return job.to_dict()
+        if self.shared_dir is None or not _CAMPAIGN_ID_RE.match(campaign_id):
+            return None
+        return _read_json(self.campaigns_dir / f"{campaign_id}.json")
+
+    def campaign_listing(self) -> list:
+        """Every known campaign (local jobs plus siblings' snapshots)."""
+        entries: Dict[str, Dict[str, Any]] = {}
+        if self.shared_dir is not None:
+            for path in sorted(self.campaigns_dir.glob("*.json")):
+                snapshot = _read_json(path)
+                if snapshot is None or "id" not in snapshot:
+                    continue
+                entries[snapshot["id"]] = {
+                    "id": snapshot["id"],
+                    "state": snapshot.get("state"),
+                    "name": (snapshot.get("campaign") or {}).get("name"),
+                    "started": snapshot.get("started"),
+                }
+        for job in self.campaign_jobs():
+            entries[job.id] = {
+                "id": job.id,
+                "state": job.state,
+                "name": job.campaign.spec.name,
+                "started": round(job.started, 3),
+            }
+        return sorted(entries.values(), key=lambda e: (e["started"] or 0, e["id"]))
 
     # --- workload catalog ----------------------------------------------------
     def model_catalog(self) -> list:
@@ -361,6 +656,8 @@ class ServiceState:
             self._evaluators.clear()
         for evaluator, _lock in evaluators:
             evaluator.close()
+        if self._cache_probe is not None:
+            self._cache_probe.close()
 
     # --- request accounting --------------------------------------------------
     def count_request(self, endpoint: str, ok: bool) -> None:
@@ -398,19 +695,60 @@ def handle_healthz(state: ServiceState) -> Response:
     with state._counter_lock:
         requests = dict(state.request_counts)
         errors = state.error_count
-    return 200, {
+    payload = {
         "status": "ok",
         "version": repro.__version__,
         "uptime_seconds": round(time.time() - state.started, 3),
         "evaluators": state.evaluator_count,
         "jobs": state.jobs,
         "cache_dir": state.cache_dir,
+        "inflight": state.inflight,
+        "max_inflight": state.max_inflight,
+        "draining": state.draining,
         "requests": requests,
         "errors": errors,
         "runtime": totals.to_dict(),
         "segment_cache": state.segment_cache_totals(),
         "population_kernel": state.population_kernel_totals(),
     }
+    if state.cache_dir is not None:
+        payload["shared_cache"] = {
+            "dir": state.cache_dir,
+            "entries": state.shared_cache_entries(),
+        }
+    if state.shared_dir is not None:
+        # Multi-worker fleet: fold every sibling's snapshot in so one
+        # /healthz (served by whichever worker accepted it) reports the
+        # whole service, with the per-worker breakdown alongside.
+        state.write_worker_status(force=True)
+        workers = state.read_worker_statuses()
+        payload["workers"] = workers
+        payload["worker_count"] = len(workers)
+        payload["requests"] = _sum_counter_dicts(w.get("requests", {}) for w in workers)
+        payload["errors"] = sum(w.get("errors", 0) for w in workers)
+        payload["evaluators"] = sum(w.get("evaluators", 0) for w in workers)
+        payload["inflight"] = sum(w.get("inflight", 0) for w in workers)
+        runtime = _sum_counter_dicts(w.get("runtime", {}) for w in workers)
+        # Summing rates and pool sizes is meaningless: jobs is per-worker
+        # (report the max), hit_rate is recomputed from the summed counters.
+        runtime["jobs"] = max(
+            (w.get("runtime", {}).get("jobs", 1) for w in workers), default=1
+        )
+        submitted = runtime.get("submitted", 0)
+        runtime["hit_rate"] = (
+            runtime.get("cache_hits", 0) / submitted if submitted else 0.0
+        )
+        payload["runtime"] = runtime
+        payload["segment_cache"] = _sum_counter_dicts(
+            w.get("segment_cache", {}) for w in workers
+        )
+        kernel = _sum_counter_dicts(w.get("population_kernel", {}) for w in workers)
+        backends = set()
+        for worker in workers:
+            backends.update(worker.get("population_kernel", {}).get("backends", []))
+        kernel["backends"] = sorted(backends)
+        payload["population_kernel"] = kernel
+    return 200, payload
 
 
 def handle_models(state: ServiceState) -> Response:
@@ -611,32 +949,26 @@ def handle_campaign_start(state: ServiceState, request: CampaignRequest) -> Resp
 
 
 def handle_campaign_get(state: ServiceState, campaign_id: str) -> Response:
-    """``GET /campaign/<id>``: a live snapshot of one background campaign."""
-    job = state.campaign_job(campaign_id)
-    if job is None:
-        known = [j.id for j in state.campaign_jobs()]
+    """``GET /campaign/<id>``: a live snapshot of one background campaign.
+
+    In a worker fleet the job may live in a sibling process; its mirrored
+    snapshot from the shared run directory answers then, so clients need
+    not care which worker accepted the original ``POST /campaign``.
+    """
+    snapshot = state.campaign_snapshot(campaign_id)
+    if snapshot is None:
+        known = [entry["id"] for entry in state.campaign_listing()]
         raise RequestError(
             f"no campaign {campaign_id!r}; known: {known}",
             status=404,
             kind="unknown_campaign",
         )
-    return 200, job.to_dict()
+    return 200, snapshot
 
 
 def handle_campaign_list(state: ServiceState) -> Response:
-    """``GET /campaign``: every job this service has started."""
-    jobs = state.campaign_jobs()
-    return 200, {
-        "campaigns": [
-            {
-                "id": job.id,
-                "state": job.state,
-                "name": job.campaign.spec.name,
-                "started": round(job.started, 3),
-            }
-            for job in jobs
-        ]
-    }
+    """``GET /campaign``: every job this service (all workers) started."""
+    return 200, {"campaigns": state.campaign_listing()}
 
 
 def handle_dse(state: ServiceState, request: DseRequest) -> Response:

@@ -59,6 +59,10 @@ class RequestError(MCCMError):
 
     ``extra`` (optional) merges additional structured fields — e.g. a
     did-you-mean ``suggestion`` — into the typed error payload.
+
+    ``retry_after`` (seconds) marks the failure as transient — backpressure
+    (429) or graceful draining (503) — and is surfaced both as a payload
+    field and as an HTTP ``Retry-After`` header so generic clients back off.
     """
 
     def __init__(
@@ -68,11 +72,13 @@ class RequestError(MCCMError):
         status: int = 400,
         kind: str = "bad_request",
         extra: Optional[Dict[str, Any]] = None,
+        retry_after: Optional[int] = None,
     ):
         super().__init__(message)
         self.status = status
         self.kind = kind
         self.extra = extra
+        self.retry_after = retry_after
 
 
 #: MCCMError subclass -> (HTTP status, machine-readable kind). Order matters:
@@ -121,6 +127,9 @@ def error_payload(error: BaseException) -> Dict[str, Any]:
     extra = getattr(error, "extra", None)
     if extra:
         entry.update(extra)
+    retry_after = getattr(error, "retry_after", None)
+    if retry_after is not None:
+        entry["retry_after"] = retry_after
     return {"error": entry}
 
 

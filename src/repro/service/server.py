@@ -77,7 +77,13 @@ class _RequestHandler(BaseHTTPRequestHandler):
         return self.server.service_state  # type: ignore[attr-defined]
 
     # --- plumbing ------------------------------------------------------------
-    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, Any],
+        *,
+        retry_after: Optional[int] = None,
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         if status >= 400:
             # An errored request may not have consumed its body; keeping the
@@ -86,6 +92,13 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(retry_after))
+        if self.close_connection:
+            # Announce the close explicitly so keep-alive clients drop the
+            # connection instead of stumbling over the silent hangup on
+            # their next request.
+            self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
 
@@ -154,20 +167,63 @@ class _RequestHandler(BaseHTTPRequestHandler):
                 return handler(self.state)
             return handler(self.state, parser(self._read_body()))
 
-        self._invoke(path, produce)
+        # POSTs do model work; GETs are cheap introspection that must keep
+        # answering (health checks, campaign polls) even under load.
+        self._invoke(path, produce, gated=method == "POST")
 
-    def _invoke(self, path: str, produce: Callable[[], Tuple[int, Dict[str, Any]]]) -> None:
+    def _refuse(self, path: str, error: schema.RequestError) -> None:
+        """Answer a transient refusal (backpressure/draining) immediately."""
+        self.state.count_request(path, ok=False)
+        self._send_json(
+            error.status, schema.error_payload(error), retry_after=error.retry_after
+        )
+
+    def _invoke(
+        self,
+        path: str,
+        produce: Callable[[], Tuple[int, Dict[str, Any]]],
+        *,
+        gated: bool = False,
+    ) -> None:
         """Run one resolved route with the shared error-to-JSON contract."""
+        state = self.state
+        if state.draining:
+            self._refuse(path, schema.RequestError(
+                "service is draining for shutdown; retry shortly",
+                status=503,
+                kind="draining",
+                retry_after=1,
+            ))
+            return
+        if gated and not state.try_begin_request():
+            self._refuse(path, schema.RequestError(
+                f"worker already has {state.max_inflight} requests in "
+                "flight; retry shortly",
+                status=429,
+                kind="backpressure",
+                retry_after=1,
+            ))
+            return
+        # Tracked until the response is fully written: a draining worker
+        # waits on this before exiting, so SIGTERM never truncates an
+        # in-flight answer.
+        state.track_request()
         try:
-            status, payload = produce()
-        except MCCMError as error:
-            status, _kind = schema.classify_error(error)
-            payload = schema.error_payload(error)
-        except Exception as error:  # pragma: no cover - defensive
-            logger.exception("unhandled error serving %s", path)
-            status, payload = 500, schema.error_payload(error)
-        self.state.count_request(path, ok=status < 400)
-        self._send_json(status, payload)
+            try:
+                status, payload = produce()
+            except MCCMError as error:
+                status, _kind = schema.classify_error(error)
+                payload = schema.error_payload(error)
+            except Exception as error:  # pragma: no cover - defensive
+                logger.exception("unhandled error serving %s", path)
+                status, payload = 500, schema.error_payload(error)
+            self.state.count_request(path, ok=status < 400)
+            state.write_worker_status()
+            self._send_json(status, payload)
+        finally:
+            if gated:
+                state.end_request()
+            state.untrack_request()
 
     # --- http.server hooks ---------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (http.server naming)
@@ -198,12 +254,14 @@ class EvaluationService:
         cache_dir: Optional[str] = None,
         cache_entries: int = 65536,
         segment_cache_entries: Optional[int] = None,
+        max_inflight: int = handlers.DEFAULT_MAX_INFLIGHT,
     ) -> None:
         self.state = ServiceState(
             jobs=jobs,
             cache_dir=cache_dir,
             cache_entries=cache_entries,
             segment_cache_entries=segment_cache_entries,
+            max_inflight=max_inflight,
         )
         self._httpd = _ThreadingServer((host, port), _RequestHandler)
         self._httpd.service_state = self.state  # type: ignore[attr-defined]
@@ -263,9 +321,38 @@ def serve(
     *,
     jobs: Union[int, str] = 1,
     cache_dir: Optional[str] = None,
+    workers: int = 1,
+    max_inflight: int = handlers.DEFAULT_MAX_INFLIGHT,
 ) -> int:
-    """Run the service in the foreground until Ctrl-C (``repro serve``)."""
-    service = EvaluationService(host, port, jobs=jobs, cache_dir=cache_dir)
+    """Run the service in the foreground until Ctrl-C (``repro serve``).
+
+    With ``workers >= 1`` and ``os.fork`` available this runs the pre-forked
+    supervisor (one process per worker, shared disk cache, graceful SIGTERM
+    draining, crash restarts); platforms without ``fork`` fall back to the
+    single-process threading server.
+    """
+    import os as _os
+
+    if hasattr(_os, "fork"):
+        from repro.service.supervisor import Supervisor
+
+        supervisor = Supervisor(
+            host,
+            port,
+            workers=workers,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            max_inflight=max_inflight,
+        )
+        return supervisor.run_forever()
+    if workers > 1:
+        raise MCCMError(
+            f"--workers {workers} needs os.fork, which this platform lacks; "
+            "run one process per port behind a load balancer instead"
+        )
+    service = EvaluationService(
+        host, port, jobs=jobs, cache_dir=cache_dir, max_inflight=max_inflight
+    )
     print(f"serving MCCM evaluations on {service.url} (Ctrl-C to stop)")
     try:
         service.serve_forever()

@@ -116,3 +116,62 @@ class TestDiskCache:
         cache.put("56" * 32, CacheEntry(report=report))
         cache.put("78" * 32, CacheEntry(report=report))
         assert len(cache) == 2
+
+    def test_put_fsyncs_before_rename(self, tmp_path, report, monkeypatch):
+        import os as os_module
+
+        from repro.runtime import cache as cache_module
+
+        synced = []
+        real_fsync = os_module.fsync
+        monkeypatch.setattr(
+            cache_module.os, "fsync", lambda fd: synced.append(fd) or real_fsync(fd)
+        )
+        DiskCache(tmp_path / "cache").put("9a" * 32, CacheEntry(report=report))
+        assert synced, "put() must fsync the tempfile before renaming it"
+
+    def test_orphaned_tmp_files_not_counted(self, tmp_path, report):
+        cache = DiskCache(tmp_path / "cache")
+        key = "bc" * 32
+        cache.put(key, CacheEntry(report=report))
+        # Simulate a sibling worker killed mid-write: a stray tempfile.
+        (cache._path(key).parent / ".tmp-dead.json").write_text("{")
+        rebuilt = DiskCache(tmp_path / "cache")
+        assert len(rebuilt) == 1
+        assert rebuilt.get(key) is not None
+
+    def test_index_shared_across_instances(self, tmp_path, report):
+        first = DiskCache(tmp_path / "cache")
+        second = DiskCache(tmp_path / "cache")
+        first.put("de" * 32, CacheEntry(report=report))
+        # The sqlite index is the shared source for counts, so a sibling
+        # attached to the same directory sees the new entry without a walk.
+        assert len(second) == 1
+        second.put("f0" * 32, CacheEntry(report=report))
+        assert len(first) == 2
+        first.close()
+        second.close()
+
+    def test_index_rebuilt_from_directory_walk(self, tmp_path, report):
+        cache = DiskCache(tmp_path / "cache")
+        cache.put("0a" * 32, CacheEntry(report=report))
+        cache.put("0b" * 32, CacheEntry(report=report))
+        cache.close()
+        (tmp_path / "cache" / "index.sqlite3").unlink()
+        rebuilt = DiskCache(tmp_path / "cache")
+        assert len(rebuilt) == 2  # reconciled from the entry files
+
+    def test_degrades_to_walk_when_index_unavailable(self, tmp_path, report):
+        cache = DiskCache(tmp_path / "cache")
+        cache.put("1c" * 32, CacheEntry(report=report))
+        cache._index._disable()
+        assert not cache._index.available
+        cache.put("2d" * 32, CacheEntry(report=report))  # still succeeds
+        assert len(cache) == 2  # glob fallback
+        assert cache.get("2d" * 32) is not None
+
+    def test_close_is_idempotent(self, tmp_path):
+        cache = DiskCache(tmp_path / "cache")
+        cache.close()
+        cache.close()
+        assert len(cache) == 0

@@ -8,6 +8,7 @@ hits on replay.
 """
 
 import json
+import socket
 import threading
 import urllib.error
 import urllib.request
@@ -592,3 +593,143 @@ class TestWorkloadRegistration:
         snapshot = client.wait_campaign(client.start_campaign(spec), timeout=120)
         assert snapshot["state"] == "done"
         assert snapshot["campaign"]["cells"][0]["front"]
+
+
+class TestBackpressure:
+    """The bounded in-flight budget answers typed 429s instead of piling up."""
+
+    def test_429_when_budget_exhausted(self):
+        with EvaluationService(port=0, max_inflight=2) as service:
+            client = ServiceClient(service.url)
+            state = service.state
+            assert state.try_begin_request() and state.try_begin_request()
+            try:
+                with pytest.raises(ServiceError) as excinfo:
+                    client.evaluate(MODEL, BOARD, "segmented", 3)
+                assert excinfo.value.status == 429
+                assert excinfo.value.kind == "backpressure"
+                assert excinfo.value.retry_after == 1
+            finally:
+                state.end_request()
+                state.end_request()
+            # Budget released: the same request now succeeds.
+            assert client.evaluate(MODEL, BOARD, "segmented", 3).feasible
+
+    def test_retry_after_header_on_the_wire(self):
+        with EvaluationService(port=0, max_inflight=1) as service:
+            state = service.state
+            assert state.try_begin_request()
+            try:
+                request = urllib.request.Request(
+                    f"{service.url}/evaluate",
+                    method="POST",
+                    data=json.dumps(
+                        {"model": MODEL, "board": BOARD,
+                         "architecture": "segmented", "ce_count": 3}
+                    ).encode(),
+                    headers={"Content-Type": "application/json"},
+                )
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    urllib.request.urlopen(request, timeout=10)
+                assert excinfo.value.code == 429
+                assert excinfo.value.headers["Retry-After"] == "1"
+                payload = json.loads(excinfo.value.read().decode())
+                assert payload["error"]["kind"] == "backpressure"
+                assert payload["error"]["retry_after"] == 1
+            finally:
+                state.end_request()
+
+    def test_gets_stay_answerable_under_saturation(self):
+        # Health checks and campaign polls must not be starved by model work.
+        with EvaluationService(port=0, max_inflight=1) as service:
+            client = ServiceClient(service.url)
+            state = service.state
+            assert state.try_begin_request()
+            try:
+                health = client.healthz()
+                assert health["status"] == "ok"
+                assert health["inflight"] == 1
+                assert health["max_inflight"] == 1
+                assert client.models()
+            finally:
+                state.end_request()
+
+
+class TestDraining:
+    def test_503_with_retry_after_once_draining(self):
+        service = EvaluationService(port=0)
+        service.start()
+        try:
+            client = ServiceClient(service.url)
+            assert client.healthz()["draining"] is False
+            service.state.begin_draining()
+            with pytest.raises(ServiceError) as excinfo:
+                client.evaluate(MODEL, BOARD, "segmented", 3)
+            assert excinfo.value.status == 503
+            assert excinfo.value.kind == "draining"
+            assert excinfo.value.retry_after == 1
+            # GETs drain the same way: the worker is going away.
+            with pytest.raises(ServiceError) as excinfo:
+                client.healthz()
+            assert excinfo.value.status == 503
+        finally:
+            service.stop()
+
+
+class TestClientTransport:
+    """Keep-alive reuse plus the single idempotent-GET retry."""
+
+    def test_connection_is_reused_across_requests(self):
+        with EvaluationService(port=0) as service:
+            client = ServiceClient(service.url)
+            client.healthz()
+            first = client._local.connection
+            assert first is not None
+            client.models()
+            assert client._local.connection is first  # same socket, kept alive
+
+    def test_error_responses_close_and_recover(self):
+        with EvaluationService(port=0) as service:
+            client = ServiceClient(service.url)
+            with pytest.raises(ServiceError):
+                client.evaluate("no-such-model", BOARD, "segmented", 3)
+            # The server closed the connection on the 4xx; the client must
+            # transparently reconnect for the next (non-retried) POST.
+            assert client.evaluate(MODEL, BOARD, "segmented", 3).feasible
+
+    def test_get_retries_once_across_server_restart(self):
+        first = EvaluationService(port=0)
+        first.start()
+        port = first.port
+        client = ServiceClient(first.url)
+        assert client.healthz()["status"] == "ok"
+        first.stop()
+        # Same port, new process-worth of state: the warm keep-alive socket
+        # is now dead, so the first GET attempt fails and the retry lands.
+        second = EvaluationService(port=port)
+        second.start()
+        try:
+            assert client.healthz()["status"] == "ok"
+        finally:
+            second.stop()
+
+    def test_post_is_not_retried(self, monkeypatch):
+        # Grab a port with nothing listening on it.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = ServiceClient(f"http://127.0.0.1:{port}")
+        backoffs = []
+        monkeypatch.setattr(
+            "repro.service.client.time.sleep", lambda s: backoffs.append(s)
+        )
+        with pytest.raises(ServiceError) as excinfo:
+            client.healthz()
+        assert excinfo.value.kind == "connection_error"
+        assert len(backoffs) == 1  # GET: one retry, one backoff sleep
+        backoffs.clear()
+        with pytest.raises(ServiceError) as excinfo:
+            client.evaluate(MODEL, BOARD, "segmented", 3)
+        assert excinfo.value.kind == "connection_error"
+        assert backoffs == []  # POST: fails immediately, never retried

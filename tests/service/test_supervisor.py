@@ -1,0 +1,204 @@
+"""Multi-worker serving tests: supervisor lifecycle over real processes.
+
+These spawn ``repro serve --workers N`` as a subprocess (the same path the
+CLI takes) and exercise the PR's acceptance criteria: fleet-aggregated
+``/healthz``, responses bit-identical to the single-process server,
+kill -9 crash restarts with the shared disk cache staying warm, graceful
+SIGTERM draining, and campaign jobs visible from any worker.
+"""
+
+import os
+import signal
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.api import evaluate as api_evaluate
+from repro.api import sweep as api_sweep
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.loadtest import spawn_server, stop_server
+
+MODEL = "squeezenet"
+BOARD = "zc706"
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(os, "fork"), reason="the multi-worker supervisor needs os.fork"
+)
+
+
+@pytest.fixture
+def fleet():
+    """A two-worker service subprocess, torn down (SIGTERM) after the test."""
+    process, url = spawn_server(2, startup_timeout=60.0)
+    try:
+        yield process, url
+    finally:
+        stop_server(process)
+
+
+def _connect_refused(url: str) -> bool:
+    host, port = url.replace("http://", "").split(":")
+    try:
+        connection = socket.create_connection((host, int(port)), timeout=2.0)
+    except OSError:
+        return True
+    connection.close()
+    return False
+
+
+def _wait_for_worker_change(client, dead_pids, tries=100):
+    """Poll /healthz until 2 workers run and none of ``dead_pids`` remain."""
+    for _ in range(tries):
+        try:
+            workers = client.healthz()["workers"]
+        except ServiceError:
+            # The poll itself may land on the just-killed worker's socket
+            # before the kernel rebalances; that is part of the scenario.
+            time.sleep(0.1)
+            continue
+        pids = {worker["pid"] for worker in workers}
+        if len(pids) == 2 and not (pids & set(dead_pids)):
+            return workers
+        time.sleep(0.1)
+    raise AssertionError(f"supervisor never replaced workers {dead_pids}")
+
+
+class TestFleetHealth:
+    def test_healthz_aggregates_workers(self, fleet):
+        _process, url = fleet
+        client = ServiceClient(url, timeout=30.0)
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert health["worker_count"] == 2
+        pids = [worker["pid"] for worker in health["workers"]]
+        assert len(set(pids)) == 2
+        for worker in health["workers"]:
+            assert worker["draining"] is False
+            assert "requests" in worker and "runtime" in worker
+        # Fleet totals are sums over the per-worker snapshots.
+        assert health["errors"] == sum(w["errors"] for w in health["workers"])
+        assert health["shared_cache"]["entries"] == 0
+
+    def test_requests_counted_across_fleet(self, fleet):
+        _process, url = fleet
+        client = ServiceClient(url, timeout=30.0)
+        for _ in range(4):
+            client.evaluate(MODEL, BOARD, "segmented", 3)
+        health = client.healthz()
+        assert health["requests"].get("/evaluate", 0) >= 4
+        assert health["shared_cache"]["entries"] >= 1
+
+
+class TestBitIdentical:
+    def test_evaluate_matches_api(self, fleet):
+        _process, url = fleet
+        client = ServiceClient(url, timeout=30.0)
+        expected = api_evaluate(MODEL, BOARD, "segmentedrr", ce_count=2)
+        result = client.evaluate(MODEL, BOARD, "segmentedrr", 2)
+        assert result.feasible
+        assert result.report == expected
+
+    def test_sweep_matches_api(self, fleet):
+        _process, url = fleet
+        client = ServiceClient(url, timeout=60.0)
+        expected = api_sweep(
+            MODEL, BOARD, architectures=["segmented", "hybrid"], ce_counts=[2, 3]
+        )
+        result = client.sweep(
+            MODEL, BOARD, architectures=["segmented", "hybrid"], ce_counts=[2, 3]
+        )
+        assert result.reports == list(expected)
+
+    def test_dse_deterministic_across_workers(self, fleet):
+        _process, url = fleet
+        client = ServiceClient(url, timeout=60.0)
+        # Whichever worker answers each call, the seeded search must agree.
+        first = client.dse(MODEL, BOARD, samples=40, seed=7)
+        second = client.dse(MODEL, BOARD, samples=40, seed=7)
+        assert [report for _d, report in first.front] == [
+            report for _d, report in second.front
+        ]
+
+
+class TestCrashRecovery:
+    def test_kill9_restarts_worker_and_cache_stays_warm(self, fleet):
+        process, url = fleet
+        client = ServiceClient(url, timeout=30.0)
+        warm = client.evaluate(MODEL, BOARD, "segmented", 3)
+        assert client.evaluate(MODEL, BOARD, "segmented", 3).cached
+
+        original = [w["pid"] for w in client.healthz()["workers"]]
+        os.kill(original[0], signal.SIGKILL)
+        workers = _wait_for_worker_change(client, {original[0]})
+        assert process.poll() is None  # the supervisor itself survived
+
+        # Kill the second original worker too: every answer below now comes
+        # from a replacement process that never evaluated this design.
+        survivors = [w["pid"] for w in workers if w["pid"] in original]
+        for pid in survivors:
+            os.kill(pid, signal.SIGKILL)
+        _wait_for_worker_change(client, set(original))
+
+        replayed = client.evaluate(MODEL, BOARD, "segmented", 3)
+        assert replayed.cached, "shared disk cache should be warm in replacements"
+        assert replayed.report == warm.report
+
+
+class TestCampaignsAcrossWorkers:
+    def test_campaign_visible_from_any_worker(self, fleet):
+        _process, url = fleet
+        client = ServiceClient(url, timeout=30.0)
+        spec = {
+            "name": "fleet-smoke",
+            "strategy": "random",
+            "samples": 6,
+            "cells": [{"model": MODEL, "board": BOARD, "ce_counts": [2, 3]}],
+        }
+        campaign_id = client.start_campaign(spec)
+        snapshot = client.wait_campaign(campaign_id, timeout=120.0)
+        assert snapshot["state"] == "done"
+        # Repeated polls land on arbitrary workers; all must know the job.
+        for _ in range(6):
+            assert client.campaign(campaign_id)["state"] == "done"
+        listing = client.campaigns()
+        assert campaign_id in [entry["id"] for entry in listing]
+
+    def test_unknown_campaign_is_404_everywhere(self, fleet):
+        _process, url = fleet
+        client = ServiceClient(url, timeout=30.0)
+        for _ in range(4):
+            with pytest.raises(ServiceError) as excinfo:
+                client.campaign("cnope-1")
+            assert excinfo.value.status == 404
+            assert excinfo.value.kind == "unknown_campaign"
+
+
+@pytest.mark.parametrize("workers", [1, 2])
+def test_sigterm_drains_gracefully(workers):
+    """SIGTERM mid-request: the in-flight response finishes, the listener
+    closes, follow-up connects are refused, and every process exits 0."""
+    process, url = spawn_server(workers, startup_timeout=60.0)
+    try:
+        result = {}
+
+        def slow_request():
+            client = ServiceClient(url, timeout=60.0)
+            try:
+                result["dse"] = client.dse(MODEL, BOARD, samples=300, seed=1)
+            except ServiceError as error:  # pragma: no cover - the failure case
+                result["error"] = error
+
+        thread = threading.Thread(target=slow_request)
+        thread.start()
+        time.sleep(0.4)  # let the dse get in flight
+        process.send_signal(signal.SIGTERM)
+        thread.join(timeout=60.0)
+
+        assert "error" not in result, f"in-flight request failed: {result.get('error')}"
+        assert len(result["dse"].front) > 0
+        assert process.wait(timeout=30.0) == 0
+        assert _connect_refused(url)
+    finally:
+        stop_server(process)
