@@ -1,0 +1,225 @@
+"""Search-quality regression gate: seeded campaign vs committed baseline.
+
+CI's ``quality-gate`` job runs a small, fully seeded DSE campaign and
+compares each cell's final Pareto-front 2-D hypervolume against the
+committed baseline (``benchmarks/results/hypervolume_baseline.json``).
+The campaign is deterministic (seeded NSGA-II over a deterministic cost
+model), so the committed numbers are exact; the gate still allows a
+``TOLERANCE`` (2%) slack so a deliberate-but-benign change to search
+internals fails loudly only when it actually costs front quality. Any
+cell whose hypervolume drops below ``baseline * (1 - TOLERANCE)`` fails
+the gate; improvements pass (regenerate the baseline to lock them in).
+
+Usage::
+
+    python benchmarks/quality_gate.py              # run campaign + gate
+    python benchmarks/quality_gate.py --regen      # rewrite the baseline
+    python benchmarks/quality_gate.py --current f.json   # gate a saved
+                                                   # metrics file (no run)
+
+Exit status: 0 = pass, 1 = regression (messages on stdout), 2 = usage or
+missing-baseline errors. ``--output`` / ``--front-csv`` write the current
+metrics and fronts for CI artifact upload on failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:  # runnable as a script without PYTHONPATH
+    sys.path.insert(0, str(SRC))
+
+from repro.dse.campaign import CampaignResult, CampaignSpec, run_campaign  # noqa: E402
+
+#: Where the committed baseline lives (relative to the repo).
+BASELINE_PATH = REPO_ROOT / "benchmarks" / "results" / "hypervolume_baseline.json"
+
+#: Allowed relative hypervolume drop before the gate fails.
+TOLERANCE = 0.02
+
+#: The gate campaign: small enough for CI (~seconds), big enough that a
+#: broken operator (mutation, crossover, archive insertion, hypervolume)
+#: measurably dents the front. Fully seeded — bit-stable across runs.
+GATE_SPEC: Dict[str, Any] = {
+    "name": "quality-gate",
+    "seed": 2025,
+    "strategy": "evolve",
+    "population": 12,
+    "generations": 4,
+    "cost_metric": "buffers",
+    "cells": [
+        {"model": "squeezenet", "board": "zc706"},
+        {"model": "squeezenet", "board": "zcu102"},
+    ],
+}
+
+
+def run_gate_campaign(checkpoint: Optional[str] = None) -> CampaignResult:
+    return run_campaign(CampaignSpec.from_dict(GATE_SPEC), checkpoint, jobs=1)
+
+
+def current_metrics(result: CampaignResult) -> Dict[str, Any]:
+    """The gate's comparable summary of a finished campaign."""
+    return {
+        "spec_fingerprint": result.spec.fingerprint(),
+        "total_evaluations": result.total_evaluations,
+        "cells": {
+            cell.cell.label: {
+                "hypervolume": cell.hypervolume,
+                "front_size": len(cell.front),
+                "evaluations": cell.evaluations,
+            }
+            for cell in result.cells
+        },
+    }
+
+
+def compare(
+    baseline: Mapping[str, Any],
+    current: Mapping[str, Any],
+    tolerance: float = TOLERANCE,
+) -> List[str]:
+    """Gate verdict: a list of human-readable failures (empty = pass)."""
+    failures: List[str] = []
+    if baseline.get("spec_fingerprint") != current.get("spec_fingerprint"):
+        failures.append(
+            "gate spec changed: baseline fingerprint "
+            f"{baseline.get('spec_fingerprint')!r} != current "
+            f"{current.get('spec_fingerprint')!r} — regenerate the baseline "
+            "(--regen) in the same change"
+        )
+        return failures
+    base_cells: Mapping[str, Any] = baseline.get("cells", {})
+    cur_cells: Mapping[str, Any] = current.get("cells", {})
+    for label, base in base_cells.items():
+        cur = cur_cells.get(label)
+        if cur is None:
+            failures.append(f"{label}: cell missing from the current run")
+            continue
+        base_hv = float(base["hypervolume"])
+        cur_hv = float(cur["hypervolume"])
+        floor = base_hv * (1.0 - tolerance)
+        if cur_hv < floor:
+            drop = 1.0 - cur_hv / base_hv if base_hv else 1.0
+            failures.append(
+                f"{label}: hypervolume regressed {drop:.2%} "
+                f"({cur_hv:.6e} < {base_hv:.6e} - {tolerance:.0%} tolerance); "
+                f"front {cur['front_size']} vs baseline {base['front_size']}"
+            )
+    for label in cur_cells:
+        if label not in base_cells:
+            failures.append(
+                f"{label}: cell absent from the baseline — regenerate it (--regen)"
+            )
+    return failures
+
+
+def _load_json(path: Path) -> Dict[str, Any]:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        raise SystemExit(
+            f"error: {path} not found "
+            "(run `python benchmarks/quality_gate.py --regen` and commit it)"
+        )
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"error: cannot read {path}: {error}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", default=str(BASELINE_PATH), metavar="FILE",
+        help="baseline metrics JSON (default: the committed one)",
+    )
+    parser.add_argument(
+        "--current", default=None, metavar="FILE",
+        help="gate a previously saved metrics JSON instead of running "
+        "the campaign (CI uses this to prove the gate fails on a "
+        "perturbed baseline)",
+    )
+    parser.add_argument(
+        "--regen", action="store_true",
+        help="run the campaign and rewrite the baseline instead of gating",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the current metrics JSON (CI artifact on failure)",
+    )
+    parser.add_argument(
+        "--front-csv", default=None, metavar="FILE",
+        help="write the final Pareto fronts as CSV (CI artifact on failure)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=TOLERANCE,
+        help=f"allowed relative hypervolume drop (default {TOLERANCE})",
+    )
+    parser.add_argument(
+        "--checkpoint", default=None, metavar="FILE",
+        help="checkpoint the gate campaign (also writes the FILE.events "
+        "telemetry log — uploaded as a CI artifact on failure)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.current is not None and args.regen:
+        parser.error("--current and --regen are mutually exclusive")
+
+    if args.current is not None:
+        current = _load_json(Path(args.current))
+    else:
+        result = run_gate_campaign(args.checkpoint)
+        current = current_metrics(result)
+        if args.front_csv:
+            Path(args.front_csv).write_text(result.front_csv(), encoding="utf-8")
+        if args.regen:
+            path = Path(args.baseline)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(
+                json.dumps(current, indent=2, sort_keys=True) + "\n",
+                encoding="utf-8",
+            )
+            print(f"baseline written to {path}")
+            for label, cell in current["cells"].items():
+                print(
+                    f"  {label:<24}hv {cell['hypervolume']:.6e}  "
+                    f"front {cell['front_size']}"
+                )
+            return 0
+
+    if args.output:
+        Path(args.output).write_text(
+            json.dumps(current, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    baseline = _load_json(Path(args.baseline))
+    failures = compare(baseline, current, tolerance=args.tolerance)
+    for label, cell in sorted(current.get("cells", {}).items()):
+        base = baseline.get("cells", {}).get(label, {})
+        base_hv = base.get("hypervolume")
+        delta = (
+            f"{cell['hypervolume'] / base_hv - 1.0:+.2%} vs baseline"
+            if base_hv
+            else "no baseline"
+        )
+        print(
+            f"{label:<24}hv {cell['hypervolume']:.6e}  "
+            f"front {cell['front_size']:>3}  {delta}"
+        )
+    if failures:
+        print("\nquality gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nquality gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -51,7 +51,7 @@ from repro.workloads import (
     unregister_model,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "build_accelerator",

@@ -7,8 +7,9 @@ Subcommands mirror the library's use cases:
 * ``validate`` — model vs reference-simulator accuracy (Eq. 10).
 * ``dse`` — search the custom design space (random / guided / evolve
   strategies) and print the Pareto front.
-* ``campaign`` — ``run`` / ``resume`` / ``status`` of checkpointed,
-  resumable multi-objective DSE campaigns (``docs/dse.md``).
+* ``campaign`` — ``run`` / ``resume`` / ``status`` / ``watch`` of
+  checkpointed, resumable multi-objective DSE campaigns with live
+  telemetry (``docs/dse.md``).
 * ``serve`` — the concurrent HTTP evaluation service (``docs/api.md``);
   ``--workers N`` pre-forks a supervised multi-worker fleet sharing one
   port and disk cache.
@@ -368,6 +369,86 @@ def _cmd_campaign_status(args: argparse.Namespace) -> int:
     else:
         _print_campaign(result, verbose_front=False)
     return 0
+
+
+def _render_campaign_event(event: dict) -> Optional[str]:
+    """One human-readable line per telemetry event (``None`` = silent)."""
+    etype = event.get("type")
+    if etype == "campaign_start":
+        cells = event.get("cells") or []
+        return (
+            f"campaign {event.get('name')!r} started: {len(cells)} cell(s) "
+            f"[{', '.join(str(c) for c in cells)}], strategy {event.get('strategy')}, "
+            f"seed {event.get('seed')}, budget {event.get('budget')} evaluations"
+        )
+    if etype == "generation_done":
+        best_fps = event.get("best_throughput_fps")
+        best_cost = event.get("best_cost")
+        fps_text = f"{best_fps:>9.1f} FPS" if best_fps is not None else "  (no feasible)"
+        cost_text = (
+            f"{best_cost / 2**20:>8.2f} MiB" if best_cost is not None else ""
+        )
+        hit = event.get("cache_hit_rate") or 0.0
+        return (
+            f"  gen {event.get('generation', '?'):>3}  "
+            f"{event.get('label', ''):<24}front {event.get('front_size', 0):>3}  "
+            f"hv {event.get('hypervolume', 0.0):.3e}  best {fps_text} {cost_text}  "
+            f"cache {hit:>6.1%}  {event.get('round_evaluations', 0)} evals "
+            f"in {event.get('round_seconds', 0.0):.2f}s"
+        )
+    if etype == "cell_done":
+        return (
+            f"cell done  {event.get('label', '')}  "
+            f"front {event.get('front_size', 0)}  "
+            f"hv {event.get('hypervolume', 0.0):.3e}  "
+            f"({event.get('evaluations', 0)} evals, "
+            f"{event.get('elapsed_seconds', 0.0):.1f}s)"
+        )
+    if etype == "campaign_done":
+        cells = event.get("cells") or []
+        fronts = ", ".join(
+            f"{cell.get('label')} hv {cell.get('hypervolume', 0.0):.3e}"
+            for cell in cells
+        )
+        return (
+            f"campaign done: {event.get('total_evaluations', 0)} evaluations; {fronts}"
+        )
+    if etype == "error":
+        return f"error: {event.get('message')} ({event.get('error_type')})"
+    return None  # generation_start: the table stays one row per finished round
+
+
+def _cmd_campaign_watch(args: argparse.Namespace) -> int:
+    if bool(args.url) == bool(args.log):
+        raise MCCMError(
+            "campaign watch needs exactly one source: --url URL --id ID "
+            "(live service stream) or --log FILE (local event log)"
+        )
+    if args.url:
+        if not args.id:
+            raise MCCMError("campaign watch --url also needs --id CAMPAIGN_ID")
+        from repro.service.client import ServiceClient
+
+        events = ServiceClient(args.url, timeout=args.timeout).stream_campaign(
+            args.id, after=args.after
+        )
+    else:
+        from repro.dse.events import read_events
+
+        events = (event.to_dict() for event in read_events(args.log, after=args.after))
+    status = 0
+    for event in events:
+        if args.json:
+            print(
+                json.dumps(event, sort_keys=True, separators=(",", ":")), flush=True
+            )
+        else:
+            line = _render_campaign_event(event)
+            if line is not None:
+                print(line, flush=True)
+        if event.get("type") == "error":
+            status = 1
+    return status
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -732,6 +813,38 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_argument("--checkpoint", required=True, help="checkpoint JSON path")
     sub.add_argument("--json", action="store_true", help="emit the full JSON status")
     sub.set_defaults(func=_cmd_campaign_status)
+
+    sub = campaign_commands.add_parser(
+        "watch",
+        help="render the live telemetry event stream of a campaign "
+        "(service stream or local event log)",
+    )
+    sub.add_argument(
+        "--url", default=None,
+        help="service base URL (e.g. http://127.0.0.1:8000); streams "
+        "GET /campaign/<id>/events with reconnect-at-offset",
+    )
+    sub.add_argument(
+        "--id", default=None, metavar="CAMPAIGN_ID",
+        help="campaign id returned by POST /campaign (with --url)",
+    )
+    sub.add_argument(
+        "--log", default=None, metavar="FILE",
+        help="replay a local <checkpoint>.events NDJSON event log instead",
+    )
+    sub.add_argument(
+        "--after", type=_nonnegative_int, default=0, metavar="SEQ",
+        help="skip events with seq <= SEQ (offset resume)",
+    )
+    sub.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="per-request socket timeout in seconds (with --url)",
+    )
+    sub.add_argument(
+        "--json", action="store_true",
+        help="print each event as one canonical JSON line instead of the table",
+    )
+    sub.set_defaults(func=_cmd_campaign_watch)
 
     cmd = commands.add_parser(
         "bench", help="time the evaluation hot path (cold vs cached)"

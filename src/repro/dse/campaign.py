@@ -18,7 +18,14 @@ long-running, crash-prone environments:
 * evaluation runs through one :class:`~repro.dse.sampler.DesignEvaluator`
   per cell, so fingerprint and segment caches stay warm across
   generations, and ``jobs``/``cache_dir`` thread straight through to the
-  batch runtime.
+  batch runtime;
+* every round also emits a typed telemetry event
+  (:mod:`repro.dse.events`) — ``generation_done`` carries front size,
+  hypervolume, best-per-objective and cache hit rates — appended to an
+  NDJSON event log next to the checkpoint *before* the checkpoint lands,
+  so a resumed campaign replays byte-stable history with no duplicate or
+  missing generation numbers, and the service streams the same events
+  live over ``GET /campaign/<id>/events``.
 
 Front-ends: :func:`repro.api.run_campaign`, the ``repro campaign
 run/resume/status`` CLI, and the service's ``POST /campaign`` +
@@ -41,6 +48,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 from repro.analysis.pareto import dominates, front_to_csv, hypervolume, pareto_front
 from repro.core.cost.export import report_from_dict, report_to_dict
 from repro.core.cost.results import CostReport
+from repro.dse.events import CampaignEvent, CampaignEventBus, EventLog
 from repro.dse.evolve import (
     EvolutionConfig,
     EvolutionEngine,
@@ -614,6 +622,8 @@ class Campaign:
         *,
         jobs: Union[int, str] = "auto",
         cache_dir: Optional[Union[str, Path]] = None,
+        event_log: Union[str, Path, None] = "auto",
+        event_sink=None,
     ) -> None:
         self.spec = spec
         self.checkpoint_path = Path(checkpoint_path) if checkpoint_path else None
@@ -623,6 +633,73 @@ class Campaign:
             CellProgress(archive=ParetoArchive(spec.cost_metric)) for _ in spec.cells
         ]
         self._lock = threading.Lock()
+        #: Telemetry fan-out: the NDJSON event log (if any) plus sinks.
+        self.events = CampaignEventBus()
+        self.event_log_path = self._resolve_event_log(self.checkpoint_path, event_log)
+        self._event_log_attached = False
+        if event_sink is not None:
+            self.events.subscribe(event_sink)
+
+    @staticmethod
+    def _resolve_event_log(
+        checkpoint_path: Optional[Path], event_log: Union[str, Path, None]
+    ) -> Optional[Path]:
+        """``"auto"`` = ``<checkpoint>.events`` (none without a checkpoint)."""
+        if event_log == "auto":
+            if checkpoint_path is None:
+                return None
+            return checkpoint_path.with_name(checkpoint_path.name + ".events")
+        return Path(event_log) if event_log is not None else None
+
+    def _attach_event_log(self, *, resume: bool) -> None:
+        """Bind the on-disk log: truncate when fresh, reconcile on resume.
+
+        On resume the log keeps exactly the longest prefix of events the
+        checkpoint proves committed (see :meth:`_event_committed`) —
+        preserved as original bytes — and the bus continues ``seq``
+        numbering after it; the interrupted round re-emits its events.
+        """
+        self._event_log_attached = True
+        if self.event_log_path is None:
+            return
+        log = EventLog(self.event_log_path)
+        if resume:
+            replayed = log.reconcile(self._event_committed)
+            self.events.prime(replayed)
+        elif self.event_log_path.exists():
+            log.truncate()
+        self.events.attach_log(log)
+
+    def _event_committed(self, event: CampaignEvent) -> bool:
+        """Does checkpoint state prove this logged event already happened?
+
+        The runner appends each event *before* saving the checkpoint that
+        covers it, so on resume an event is committed iff the restored
+        state implies its round completed: generation events of an evolve
+        cell once ``initialized`` and ``generation`` reached them, one-shot
+        (random/guided) cell events only once the cell finished (one-shot
+        rounds are unresumable), ``cell_done``/``campaign_done`` once the
+        statuses say so. ``campaign_start`` and ``error`` are history the
+        moment they are written.
+        """
+        if event.type in ("campaign_start", "error"):
+            return True
+        if event.type == "campaign_done":
+            return all(cell.status == CELL_DONE for cell in self.cells)
+        index = event.cell
+        if index is None or not 0 <= index < len(self.cells):
+            return False
+        progress = self.cells[index]
+        if event.type == "cell_done":
+            return progress.status == CELL_DONE
+        if event.type in ("generation_start", "generation_done"):
+            if self.spec.strategy != "evolve":
+                return progress.status == CELL_DONE
+            generation = event.data.get("generation")
+            if not isinstance(generation, int):
+                return False
+            return progress.initialized and generation <= progress.generation
+        return False
 
     # --- persistence ---------------------------------------------------------
     @classmethod
@@ -633,6 +710,8 @@ class Campaign:
         spec: Optional[CampaignSpec] = None,
         jobs: Union[int, str] = "auto",
         cache_dir: Optional[Union[str, Path]] = None,
+        event_log: Union[str, Path, None] = "auto",
+        event_sink=None,
     ) -> "Campaign":
         """Rebuild a campaign from its checkpoint (the resume path).
 
@@ -669,7 +748,14 @@ class Campaign:
                 "the given spec does not match the checkpointed campaign; "
                 "start a fresh checkpoint for a changed spec"
             )
-        campaign = cls(stored_spec, path, jobs=jobs, cache_dir=cache_dir)
+        campaign = cls(
+            stored_spec,
+            path,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            event_log=event_log,
+            event_sink=event_sink,
+        )
         stored_cells = data.get("cells")
         if not isinstance(stored_cells, list) or len(stored_cells) != len(
             stored_spec.cells
@@ -687,6 +773,9 @@ class Campaign:
                 f"checkpoint {path} has a malformed cells section "
                 f"({type(error).__name__}: {error})"
             ) from None
+        # Reconcile only now: the committed-predicate needs the restored
+        # cell states, and a log-less load (campaign_status) stays read-only.
+        campaign._attach_event_log(resume=True)
         return campaign
 
     def _workload_definitions(self) -> Dict[str, Dict[str, Any]]:
@@ -808,34 +897,76 @@ class Campaign:
         """
         rounds = 0
         self.save()  # an immediately-killable campaign is already resumable
-        for index, cell in enumerate(self.spec.cells):
-            progress = self.cells[index]
-            if progress.status == CELL_DONE:
-                continue
-            if max_rounds is not None and rounds >= max_rounds:
-                break
-            space_kwargs: Dict[str, Any] = {}
-            if cell.ce_counts is not None:
-                space_kwargs["ce_counts"] = cell.ce_counts
-            if cell.max_pipelined is not None:
-                space_kwargs["max_pipelined"] = cell.max_pipelined
-            graph = REGISTRY.model(cell.model)
-            board = REGISTRY.board(cell.board, precision=cell.precision)
-            space = CustomDesignSpace(graph.conv_specs(), **space_kwargs)
-            with DesignEvaluator(
-                graph,
-                board,
-                cell.precision,
-                jobs=self.jobs,
-                cache_dir=self.cache_dir,
-            ) as evaluator:
-                if self.spec.strategy == "evolve":
-                    rounds = self._run_evolve_cell(
-                        index, evaluator, space, rounds, max_rounds
-                    )
-                else:
-                    rounds = self._run_oneshot_cell(index, evaluator, space, rounds)
-        return self.result()
+        if not self._event_log_attached:
+            self._attach_event_log(resume=False)
+        if self.events.last_seq == 0:
+            self.events.emit(
+                "campaign_start",
+                name=self.spec.name,
+                strategy=self.spec.strategy,
+                seed=self.spec.seed,
+                cost_metric=self.spec.cost_metric,
+                cells=[cell.label for cell in self.spec.cells],
+                budget=self.spec.budget(),
+                fingerprint=self.spec.fingerprint(),
+            )
+        index = None
+        try:
+            for index, cell in enumerate(self.spec.cells):
+                progress = self.cells[index]
+                if progress.status == CELL_DONE:
+                    continue
+                if max_rounds is not None and rounds >= max_rounds:
+                    break
+                space_kwargs: Dict[str, Any] = {}
+                if cell.ce_counts is not None:
+                    space_kwargs["ce_counts"] = cell.ce_counts
+                if cell.max_pipelined is not None:
+                    space_kwargs["max_pipelined"] = cell.max_pipelined
+                graph = REGISTRY.model(cell.model)
+                board = REGISTRY.board(cell.board, precision=cell.precision)
+                space = CustomDesignSpace(graph.conv_specs(), **space_kwargs)
+                with DesignEvaluator(
+                    graph,
+                    board,
+                    cell.precision,
+                    jobs=self.jobs,
+                    cache_dir=self.cache_dir,
+                ) as evaluator:
+                    if self.spec.strategy == "evolve":
+                        rounds = self._run_evolve_cell(
+                            index, evaluator, space, rounds, max_rounds
+                        )
+                    else:
+                        rounds = self._run_oneshot_cell(index, evaluator, space, rounds)
+        except Exception as error:
+            # The stream's terminal failure marker; the exception itself
+            # still propagates to the caller (CLI exit 2, service "failed").
+            self.events.emit(
+                "error",
+                cell=index,
+                message=str(error),
+                error_type=type(error).__name__,
+            )
+            raise
+        result = self.result()
+        if result.done and "campaign_done" not in self.events.seen_types:
+            self.events.emit(
+                "campaign_done",
+                name=self.spec.name,
+                total_evaluations=result.total_evaluations,
+                cells=[
+                    {
+                        "cell": cell_index,
+                        "label": cell_result.cell.label,
+                        "front_size": len(cell_result.front),
+                        "hypervolume": cell_result.hypervolume,
+                        "evaluations": cell_result.evaluations,
+                    }
+                    for cell_index, cell_result in enumerate(result.cells)
+                ],
+            )
+        return result
 
     def _admissible(self, index: int, evaluated: Sequence) -> List:
         """The evaluated pairs the spec's ruleset admits into the archive.
@@ -863,6 +994,68 @@ class Campaign:
             )
         ]
 
+    # --- telemetry helpers ----------------------------------------------------
+    def _emit_generation_done(
+        self,
+        index: int,
+        *,
+        generation: int,
+        round_kind: str,
+        round_evaluations: int,
+        round_infeasible: int,
+        round_seconds: float,
+        run_stats,
+    ) -> None:
+        """One round's summary: archive standing + best-per-objective +
+        the batch runtime's cache behaviour for the round just evaluated."""
+        metric = self.spec.cost_metric
+        with self._lock:
+            progress = self.cells[index]
+            front = progress.archive.front()
+            snapshot = {
+                "front_size": len(front),
+                "hypervolume": progress.archive.hypervolume(),
+                "evaluations": progress.evaluations,
+                "infeasible": progress.infeasible,
+            }
+        best_throughput = max(
+            (report.throughput_fps for _design, report in front), default=None
+        )
+        best_cost = min(
+            (report.metric(metric) for _design, report in front), default=None
+        )
+        self.events.emit(
+            "generation_done",
+            cell=index,
+            label=self.spec.cells[index].label,
+            generation=generation,
+            round=round_kind,
+            round_evaluations=round_evaluations,
+            round_infeasible=round_infeasible,
+            round_seconds=round_seconds,
+            best_throughput_fps=best_throughput,
+            best_cost=best_cost,
+            cost_metric=metric,
+            cache_hit_rate=round(run_stats.hit_rate, 4),
+            cache_memory_hits=run_stats.memory_hits,
+            cache_disk_hits=run_stats.disk_hits,
+            **snapshot,
+        )
+
+    def _emit_cell_done(self, index: int) -> None:
+        with self._lock:
+            progress = self.cells[index]
+            payload = {
+                "label": self.spec.cells[index].label,
+                "generation": progress.generation,
+                "evaluations": progress.evaluations,
+                "infeasible": progress.infeasible,
+                "front_size": len(progress.archive),
+                "hypervolume": progress.archive.hypervolume(),
+                "elapsed_seconds": round(progress.elapsed_seconds, 6),
+            }
+        self.events.emit("cell_done", cell=index, **payload)
+
     def _run_evolve_cell(
         self,
         index: int,
@@ -884,20 +1077,33 @@ class Campaign:
         while True:
             if max_rounds is not None and rounds >= max_rounds:
                 return rounds
+            if progress.initialized and progress.generation >= config.generations:
+                with self._lock:
+                    progress.status = CELL_DONE
+                    progress.rng_state = rng.getstate()
+                self._emit_cell_done(index)
+                self.save()
+                return rounds
+            # Round g: the initial sample is generation 0, evolution steps
+            # are 1..generations. generation_start precedes the batch so
+            # watchers see long rounds begin, not only end.
+            generation = progress.generation + 1 if progress.initialized else 0
+            self.events.emit(
+                "generation_start",
+                cell=index,
+                label=self.spec.cells[index].label,
+                generation=generation,
+                round="initial_sample" if generation == 0 else "generation",
+                population=config.population,
+            )
             start = time.perf_counter()
             if not progress.initialized:
                 evaluated = engine.initialize(seed)
                 with self._lock:
                     progress.status = CELL_RUNNING
                     progress.initialized = True
-            elif progress.generation < config.generations:
-                evaluated = engine.step()
             else:
-                with self._lock:
-                    progress.status = CELL_DONE
-                    progress.rng_state = rng.getstate()
-                self.save()
-                return rounds
+                evaluated = engine.step()
             elapsed = time.perf_counter() - start
             admitted = self._admissible(index, evaluated)
             with self._lock:
@@ -908,6 +1114,15 @@ class Campaign:
                 progress.evaluations += engine.last_submitted
                 progress.infeasible += engine.last_submitted - len(evaluated)
                 progress.elapsed_seconds += elapsed
+            self._emit_generation_done(
+                index,
+                generation=generation,
+                round_kind="initial_sample" if generation == 0 else "generation",
+                round_evaluations=engine.last_submitted,
+                round_infeasible=engine.last_submitted - len(evaluated),
+                round_seconds=round(elapsed, 6),
+                run_stats=evaluator.runtime.last_run,
+            )
             rounds += 1
             self.save()
 
@@ -923,6 +1138,14 @@ class Campaign:
         with self._lock:
             progress.status = CELL_RUNNING
         self.save()
+        self.events.emit(
+            "generation_start",
+            cell=index,
+            label=self.spec.cells[index].label,
+            generation=0,
+            round="search",
+            samples=self.spec.samples,
+        )
         strategy = make_strategy(
             self.spec.strategy,
             samples=self.spec.samples,
@@ -937,6 +1160,19 @@ class Campaign:
             progress.infeasible += result.stats.failed
             progress.elapsed_seconds += result.stats.elapsed_seconds
             progress.status = CELL_DONE
+        # One-shot cells finish in a single round, so the whole-cell totals
+        # double as the round stats (``totals`` because guided strategies
+        # run several batches through the evaluator).
+        self._emit_generation_done(
+            index,
+            generation=0,
+            round_kind="search",
+            round_evaluations=result.stats.evaluated + result.stats.failed,
+            round_infeasible=result.stats.failed,
+            round_seconds=round(result.stats.elapsed_seconds, 6),
+            run_stats=evaluator.runtime.totals,
+        )
+        self._emit_cell_done(index)
         self.save()
         return rounds + 1
 
@@ -952,13 +1188,19 @@ def run_campaign(
     jobs: Union[int, str] = "auto",
     cache_dir: Optional[Union[str, Path]] = None,
     max_rounds: Optional[int] = None,
+    event_log: Union[str, Path, None] = "auto",
+    event_sink=None,
 ) -> CampaignResult:
     """Run (or resume) a campaign; the one-call front door.
 
     ``spec`` is a :class:`CampaignSpec`, a spec dict, or a path to a spec
     JSON file. With ``resume=False`` an existing checkpoint file is an
     error (refuse to clobber state); with ``resume=True`` the checkpoint
-    is loaded and the spec (if any) only cross-checked.
+    is loaded and the spec (if any) only cross-checked. ``event_log`` is
+    the NDJSON telemetry log path — the default ``"auto"`` puts it next
+    to the checkpoint as ``<checkpoint>.events`` (no log without a
+    checkpoint); ``None`` disables it. ``event_sink`` is an optional
+    callable receiving every :class:`~repro.dse.events.CampaignEvent`.
     """
     parsed: Optional[CampaignSpec]
     if isinstance(spec, CampaignSpec):
@@ -974,7 +1216,12 @@ def run_campaign(
         if checkpoint is None:
             raise CampaignError("resume needs a checkpoint path")
         campaign = Campaign.load(
-            checkpoint, spec=parsed, jobs=jobs, cache_dir=cache_dir
+            checkpoint,
+            spec=parsed,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            event_log=event_log,
+            event_sink=event_sink,
         )
     else:
         if parsed is None:
@@ -984,7 +1231,14 @@ def run_campaign(
                 f"checkpoint {checkpoint} already exists; "
                 "resume it or choose a new path"
             )
-        campaign = Campaign(parsed, checkpoint, jobs=jobs, cache_dir=cache_dir)
+        campaign = Campaign(
+            parsed,
+            checkpoint,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            event_log=event_log,
+            event_sink=event_sink,
+        )
     return campaign.run(max_rounds=max_rounds)
 
 
@@ -994,6 +1248,8 @@ def resume_campaign(
     jobs: Union[int, str] = "auto",
     cache_dir: Optional[Union[str, Path]] = None,
     max_rounds: Optional[int] = None,
+    event_log: Union[str, Path, None] = "auto",
+    event_sink=None,
 ) -> CampaignResult:
     """Finish a checkpointed campaign (no-op if it already completed)."""
     return run_campaign(
@@ -1003,9 +1259,16 @@ def resume_campaign(
         jobs=jobs,
         cache_dir=cache_dir,
         max_rounds=max_rounds,
+        event_log=event_log,
+        event_sink=event_sink,
     )
 
 
 def campaign_status(checkpoint: Union[str, Path]) -> CampaignResult:
-    """Inspect a checkpoint without evaluating anything."""
-    return Campaign.load(checkpoint).result()
+    """Inspect a checkpoint without evaluating anything.
+
+    ``event_log=None`` keeps the load strictly read-only: a status poll
+    must never reconcile (truncate) the event log of a campaign that is
+    still running in another process.
+    """
+    return Campaign.load(checkpoint, event_log=None).result()

@@ -35,6 +35,11 @@ from repro.utils.errors import MCCMError
 
 PrecisionLike = Union[None, Precision, Dict[str, str]]
 
+#: Event types after which a campaign stream has nothing more to say
+#: (mirrors :data:`repro.dse.events.TERMINAL_EVENT_TYPES` without pulling
+#: the dse package into the client's import graph).
+_TERMINAL_EVENT_TYPES = ("campaign_done", "error")
+
 
 class ServiceError(MCCMError):
     """A non-2xx service response, carrying the typed error payload.
@@ -405,6 +410,108 @@ class ServiceClient:
     def campaigns(self) -> List[Dict[str, Any]]:
         """``GET /campaign``: every job the service has started."""
         return self._request("GET", "/campaign")["campaigns"]
+
+    def stream_campaign(
+        self,
+        campaign_id: str,
+        after: int = 0,
+        *,
+        reconnect: bool = True,
+        max_silent_reconnects: int = 5,
+    ):
+        """``GET /campaign/<id>/events``: yield live events as dicts.
+
+        A generator over the chunked-NDJSON stream. ``after`` resumes past
+        an already-seen event ``seq`` (use the last yielded event's
+        ``seq`` after an interruption). With ``reconnect`` (default) a
+        dropped connection — a worker restarting, a flaky network — is
+        re-dialed transparently with ``?after=<last seen seq>``, so the
+        caller observes every event exactly once, in order, with no gaps.
+        The generator ends after a terminal ``campaign_done``/``error``
+        event, or once ``max_silent_reconnects`` consecutive reconnects
+        yield nothing new (the campaign was evicted server-side).
+
+        Streams use a dedicated connection per attempt, never the
+        keep-alive one ``_request`` shares, so polling ``campaign()``
+        concurrently from the same thread stays safe.
+        """
+        cursor = after
+        silent = 0
+        while True:
+            factory = (
+                http.client.HTTPSConnection
+                if self._scheme == "https"
+                else http.client.HTTPConnection
+            )
+            connection = factory(self._host, self._port, timeout=self.timeout)
+            progressed = False
+            try:
+                connection.request(
+                    "GET",
+                    f"{self._prefix}/campaign/{campaign_id}/events?after={cursor}",
+                    headers={"Last-Event-Id": str(cursor)},
+                )
+                response = connection.getresponse()
+                if response.status >= 400:
+                    raw = response.read()
+                    try:
+                        detail = json.loads(raw.decode("utf-8"))["error"]
+                    except Exception:
+                        detail = {
+                            "kind": "http_error",
+                            "message": f"HTTP {response.status}",
+                        }
+                    raise ServiceError(
+                        response.status,
+                        detail.get("kind", "http_error"),
+                        detail.get("message", f"HTTP {response.status}"),
+                        retry_after=detail.get("retry_after"),
+                    )
+                while True:
+                    # http.client undoes the chunked framing; each readline
+                    # is one NDJSON event the moment the server flushes it.
+                    line = response.readline()
+                    if not line:
+                        break
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        event = json.loads(line.decode("utf-8"))
+                    except (UnicodeDecodeError, ValueError):
+                        break  # torn line mid-drop; reconnect at the cursor
+                    if not isinstance(event, dict):
+                        continue
+                    seq = event.get("seq")
+                    if isinstance(seq, int):
+                        if seq <= cursor:
+                            continue  # replayed duplicate after a reconnect
+                        cursor = seq
+                    progressed = True
+                    yield event
+                    if event.get("type") in _TERMINAL_EVENT_TYPES:
+                        return
+            except (OSError, http.client.HTTPException) as error:
+                if not reconnect:
+                    raise ServiceError(
+                        0,
+                        "connection_error",
+                        f"event stream from {self.base_url} failed: {error}",
+                    ) from None
+            finally:
+                try:
+                    connection.close()
+                except Exception:  # noqa: BLE001 - teardown must not mask
+                    pass
+            # Stream ended without a terminal event (server drain, dropped
+            # connection): resume at the cursor unless it keeps yielding
+            # nothing — then the campaign is gone and so is the stream.
+            if not reconnect:
+                return
+            silent = 0 if progressed else silent + 1
+            if silent > max_silent_reconnects:
+                return
+            time.sleep(RETRY_BACKOFF_SECONDS)
 
     def wait_campaign(
         self, campaign_id: str, timeout: float = 300.0, poll_seconds: float = 0.2

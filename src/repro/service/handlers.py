@@ -22,7 +22,8 @@ import tempfile
 import threading
 import time
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterable, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
 
 import repro
 from repro.api import sweep
@@ -32,6 +33,12 @@ from repro.core.cost.export import report_to_dict
 from repro.core.notation import ArchitectureSpec, parse_notation
 from repro.dse import CustomDesignSpace, DesignEvaluator, random_search
 from repro.dse.campaign import Campaign
+from repro.dse.events import (
+    TERMINAL_EVENT_TYPES,
+    CampaignEvent,
+    EventLog,
+    read_events,
+)
 from repro.hw.datatypes import Precision
 from repro.runtime import BatchEvaluator, RunStats
 from repro.runtime.cache import DiskCache
@@ -85,6 +92,31 @@ STATUS_WRITE_INTERVAL = 0.25
 #: directory; anything outside this alphabet is rejected before it can
 #: traverse paths.
 _CAMPAIGN_ID_RE = re.compile(r"^[A-Za-z0-9_-]+$")
+
+#: How often a ``GET /campaign/<id>/events`` stream polls its source (the
+#: in-memory buffer locally, the shared-dir event file across workers)
+#: for new events between flushes.
+STREAM_POLL_SECONDS = 0.15
+
+#: Extra polls a stream grants a settled campaign before giving up on its
+#: terminal event. The ``campaign_done``/``error`` event normally ends the
+#: stream; this only covers the sliver where the job settles before the
+#: terminal event is observable (or an evicted snapshot disappears).
+STREAM_SETTLED_GRACE_POLLS = 4
+
+
+@dataclass
+class StreamingResponse:
+    """A handler result the server writes as chunked NDJSON, not JSON.
+
+    ``chunks`` yields complete NDJSON lines; the server flushes each one
+    immediately so consumers see events as they happen, and closes the
+    connection when the iterator ends.
+    """
+
+    chunks: Iterator[bytes]
+    status: int = 200
+    content_type: str = "application/x-ndjson"
 
 
 def _write_json_atomic(path: Path, payload: Dict[str, Any], *, fsync: bool = True) -> None:
@@ -157,9 +189,24 @@ class CampaignJob:
         self.error: Optional[str] = None
         self._publish = publish
         self._publish_lock = threading.Lock()
+        #: Every event the campaign emitted, in ``seq`` order — the source
+        #: a local ``GET /campaign/<id>/events`` stream tails. Subscribed
+        #: before the thread starts, so no event can slip past the buffer.
+        self._events: List[CampaignEvent] = []
+        self._events_lock = threading.Lock()
+        campaign.events.subscribe(self._record_event)
         self.thread = threading.Thread(
             target=self._run, name=f"repro-campaign-{campaign_id}", daemon=True
         )
+
+    def _record_event(self, event: CampaignEvent) -> None:
+        with self._events_lock:
+            self._events.append(event)
+
+    def events_after(self, seq: int) -> List[CampaignEvent]:
+        """Buffered events with ``seq`` beyond the cursor, oldest first."""
+        with self._events_lock:
+            return [event for event in self._events if event.seq > seq]
 
     def publish_snapshot(self) -> None:
         """Mirror the current state to the shared store (best effort)."""
@@ -436,6 +483,16 @@ class ServiceState:
                 campaign_id = f"c{self._campaign_counter}"
                 publish = None
             job = CampaignJob(campaign_id, campaign, publish=publish)
+            if self.shared_dir is not None:
+                # Mirror the event stream through the shared run dir as an
+                # append-only NDJSON file, so ANY worker in the fleet can
+                # serve ``GET /campaign/<id>/events`` for this job — the
+                # snapshot analogue for streams. Attached before the thread
+                # starts; appends are synchronous with each emit, so the
+                # file is always ahead of the 0.5s snapshot mirror.
+                campaign.events.attach_log(
+                    EventLog(self.campaigns_dir / f"{job.id}.events")
+                )
             self._campaigns[job.id] = job
             settled = [j for j in self._campaigns.values() if j.state != "running"]
             for stale in settled[: max(0, len(settled) - MAX_RETAINED_CAMPAIGNS)]:
@@ -466,10 +523,11 @@ class ServiceState:
     def _discard_campaign_snapshot(self, campaign_id: str) -> None:
         if self.shared_dir is None or not _CAMPAIGN_ID_RE.match(campaign_id):
             return
-        try:
-            (self.campaigns_dir / f"{campaign_id}.json").unlink()
-        except OSError:
-            pass
+        for suffix in (".json", ".events"):
+            try:
+                (self.campaigns_dir / f"{campaign_id}{suffix}").unlink()
+            except OSError:
+                pass
 
     def campaign_snapshot(self, campaign_id: str) -> Optional[Dict[str, Any]]:
         """One campaign's wire payload: a live local job, or — in a worker
@@ -969,6 +1027,105 @@ def handle_campaign_get(state: ServiceState, campaign_id: str) -> Response:
 def handle_campaign_list(state: ServiceState) -> Response:
     """``GET /campaign``: every job this service (all workers) started."""
     return 200, {"campaigns": state.campaign_listing()}
+
+
+def _campaign_event_stream(
+    state: ServiceState,
+    campaign_id: str,
+    job: Optional[CampaignJob],
+    after: int,
+) -> Iterator[bytes]:
+    """Yield NDJSON event lines for one campaign until it terminates.
+
+    A local job streams from its in-memory buffer; a sibling worker's job
+    streams by tailing the shared-dir event file the owner appends to.
+    Both sources carry identical canonical bytes, so a client reconnecting
+    at an offset gets the same stream whichever worker answers. The stream
+    ends on a terminal event (``campaign_done``/``error``), when this
+    worker starts draining, or shortly after the campaign settles/vanishes
+    without one (eviction).
+    """
+    cursor = after
+    settled_polls = 0
+    events_file = (
+        state.campaigns_dir / f"{campaign_id}.events"
+        if state.shared_dir is not None
+        else None
+    )
+    while True:
+        if job is not None:
+            batch = job.events_after(cursor)
+        else:
+            batch = read_events(events_file, after=cursor)
+        for event in batch:
+            cursor = event.seq
+            yield event.to_line()
+            if event.type in TERMINAL_EVENT_TYPES:
+                return
+        if state.draining:
+            return
+        if job is not None:
+            running = job.state == "running"
+        else:
+            snapshot = state.campaign_snapshot(campaign_id)
+            running = snapshot is not None and snapshot.get("state") == "running"
+        if running:
+            settled_polls = 0
+        else:
+            settled_polls += 1
+            if settled_polls > STREAM_SETTLED_GRACE_POLLS:
+                return
+        time.sleep(STREAM_POLL_SECONDS)
+
+
+def handle_campaign_events(
+    state: ServiceState, campaign_id: str, query: Mapping[str, str]
+) -> StreamingResponse:
+    """``GET /campaign/<id>/events``: live chunked-NDJSON event stream.
+
+    ``?after=<seq>`` (or a ``Last-Event-Id: <seq>`` header, which the
+    server maps to the same parameter) resumes after a dropped connection:
+    only events with ``seq`` strictly greater than the offset are sent, so
+    a reconnecting client sees no duplicates and no gaps.
+    """
+    raw_after = query.get("after", "0")
+    try:
+        after = int(raw_after)
+    except (TypeError, ValueError):
+        raise RequestError(
+            f"after must be an integer event seq, got {raw_after!r}",
+            kind="bad_request",
+        ) from None
+    if after < 0:
+        raise RequestError(f"after must be >= 0, got {after}", kind="bad_request")
+    job = state.campaign_job(campaign_id)
+    if job is None and state.campaign_snapshot(campaign_id) is None:
+        known = [entry["id"] for entry in state.campaign_listing()]
+        raise RequestError(
+            f"no campaign {campaign_id!r}; known: {known}",
+            status=404,
+            kind="unknown_campaign",
+        )
+    return StreamingResponse(
+        chunks=_campaign_event_stream(state, campaign_id, job, after)
+    )
+
+
+def handle_campaign_path(
+    state: ServiceState, suffix: str, query: Mapping[str, str]
+) -> Union[Response, StreamingResponse]:
+    """Route ``GET /campaign/<id>`` and ``GET /campaign/<id>/events``."""
+    campaign_id, _, tail = suffix.partition("/")
+    if not tail:
+        return handle_campaign_get(state, campaign_id)
+    if tail == "events":
+        return handle_campaign_events(state, campaign_id, query)
+    raise RequestError(
+        f"no such campaign endpoint {tail!r}; expected /campaign/<id> "
+        "or /campaign/<id>/events",
+        status=404,
+        kind="unknown_endpoint",
+    )
 
 
 def handle_dse(state: ServiceState, request: DseRequest) -> Response:

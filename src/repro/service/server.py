@@ -21,6 +21,7 @@ import logging
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Callable, Dict, Optional, Tuple, Union
+from urllib.parse import parse_qsl
 
 import repro
 from repro.service import handlers, schema
@@ -61,10 +62,12 @@ ROUTES: Dict[str, Dict[str, Tuple[Optional[Callable], Callable]]] = {
     },
 }
 
-#: method -> ((path prefix, handler taking (state, suffix)), ...) for routes
-#: with a path parameter, e.g. ``GET /campaign/<id>``.
+#: method -> ((path prefix, handler taking (state, suffix, query)), ...)
+#: for routes with a path parameter, e.g. ``GET /campaign/<id>`` and
+#: ``GET /campaign/<id>/events``. Handlers return either the usual
+#: ``(status, payload)`` or a :class:`~repro.service.handlers.StreamingResponse`.
 DYNAMIC_ROUTES: Dict[str, Tuple[Tuple[str, Callable], ...]] = {
-    "GET": (("/campaign/", handlers.handle_campaign_get),),
+    "GET": (("/campaign/", handlers.handle_campaign_path),),
 }
 
 
@@ -92,6 +95,7 @@ class _RequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        self._send_worker_header()
         if retry_after is not None:
             self.send_header("Retry-After", str(retry_after))
         if self.close_connection:
@@ -101,6 +105,46 @@ class _RequestHandler(BaseHTTPRequestHandler):
             self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(body)
+
+    def _send_worker_header(self) -> None:
+        """In a fleet, say which worker pid answered — clients (and the CI
+        smoke) use it to prove streams are served fleet-wide, not only by
+        the worker that accepted ``POST /campaign``."""
+        if self.state.worker_index is not None:
+            self.send_header("X-Repro-Worker", str(self.state.pid))
+
+    def _send_stream(self, stream: "handlers.StreamingResponse") -> None:
+        """Write a chunked-transfer NDJSON response, flushing every chunk.
+
+        Manual chunked framing (``http.server`` offers none): each event
+        line goes out as its own chunk the moment the handler yields it,
+        so clients see generations live. The connection always closes at
+        stream end — re-syncing keep-alive after a potentially abandoned
+        stream is not worth it.
+        """
+        self.close_connection = True
+        self.send_response(stream.status)
+        self.send_header("Content-Type", stream.content_type)
+        self.send_header("Cache-Control", "no-store")
+        self.send_header("Transfer-Encoding", "chunked")
+        self._send_worker_header()
+        self.send_header("Connection", "close")
+        self.end_headers()
+        try:
+            for chunk in stream.chunks:
+                if not chunk:
+                    continue
+                self.wfile.write(b"%x\r\n" % len(chunk))
+                self.wfile.write(chunk)
+                self.wfile.write(b"\r\n")
+                self.wfile.flush()
+            self.wfile.write(b"0\r\n\r\n")
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            # The client hung up mid-stream; reconnecting with ?after=<seq>
+            # resumes without gaps, so a dropped pipe is routine, not an error.
+            pass
+        except Exception:  # pragma: no cover - defensive
+            logger.exception("event stream failed mid-flight")
 
     def _read_body(self) -> Any:
         length_header = self.headers.get("Content-Length")
@@ -127,8 +171,21 @@ class _RequestHandler(BaseHTTPRequestHandler):
                 f"request body is not valid JSON: {error}", kind="invalid_json"
             ) from None
 
+    def _query_params(self, raw_query: str) -> Dict[str, str]:
+        """Query-string parameters (first value wins), plus the
+        ``Last-Event-Id`` header mapped to ``after`` for stream resumes —
+        SSE-style clients send the header, curl users the parameter."""
+        params: Dict[str, str] = {}
+        for key, value in parse_qsl(raw_query, keep_blank_values=True):
+            params.setdefault(key, value)
+        last_event_id = self.headers.get("Last-Event-Id")
+        if last_event_id is not None and "after" not in params:
+            params["after"] = last_event_id.strip()
+        return params
+
     def _dispatch(self, method: str) -> None:
-        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        path, _, raw_query = self.path.partition("?")
+        path = path.rstrip("/") or "/"
         route = ROUTES.get(method, {}).get(path)
         if route is None:
             for prefix, dynamic_handler in DYNAMIC_ROUTES.get(method, ()):
@@ -137,7 +194,11 @@ class _RequestHandler(BaseHTTPRequestHandler):
                     # per-id keys would grow request_counts without bound.
                     self._invoke(
                         f"{prefix}<id>",
-                        lambda: dynamic_handler(self.state, path[len(prefix):]),
+                        lambda: dynamic_handler(
+                            self.state,
+                            path[len(prefix):],
+                            self._query_params(raw_query),
+                        ),
                     )
                     return
             known = sorted(ROUTES["GET"]) + sorted(ROUTES["POST"])
@@ -210,13 +271,23 @@ class _RequestHandler(BaseHTTPRequestHandler):
         state.track_request()
         try:
             try:
-                status, payload = produce()
+                result = produce()
             except MCCMError as error:
                 status, _kind = schema.classify_error(error)
-                payload = schema.error_payload(error)
+                result = (status, schema.error_payload(error))
             except Exception as error:  # pragma: no cover - defensive
                 logger.exception("unhandled error serving %s", path)
-                status, payload = 500, schema.error_payload(error)
+                result = (500, schema.error_payload(error))
+            if isinstance(result, handlers.StreamingResponse):
+                # Streams hold this connection open for the campaign's
+                # lifetime; they stay tracked (draining waits them out —
+                # the generator itself exits early on drain) but are
+                # counted once, up front.
+                self.state.count_request(path, ok=True)
+                state.write_worker_status()
+                self._send_stream(result)
+                return
+            status, payload = result
             self.state.count_request(path, ok=status < 400)
             state.write_worker_status()
             self._send_json(status, payload)

@@ -11,7 +11,7 @@ from repro.cnn.zoo import available_models, load_model
 
 class TestPackageSurface:
     def test_version(self):
-        assert repro.__version__ == "1.8.0"
+        assert repro.__version__ == "1.9.0"
 
     def test_top_level_exports_work(self):
         report = repro.evaluate("squeezenet", "zc706", "segmentedrr", ce_count=2)

@@ -1,0 +1,151 @@
+"""Live NDJSON campaign telemetry over HTTP (``GET /campaign/<id>/events``).
+
+Pins the streaming acceptance criteria: a campaign streams its typed
+events as chunked NDJSON while running, a dropped consumer reconnects at
+its last-seen ``seq`` with no gaps and no duplicates, and the endpoint
+speaks the service's usual typed-error dialect (404 ``unknown_campaign``,
+400 ``bad_request``).
+"""
+
+import http.client
+import json
+
+import pytest
+
+from repro.service import EvaluationService, ServiceClient, ServiceError
+
+MODEL = "squeezenet"
+BOARD = "zc706"
+
+SPEC = {
+    "name": "stream-campaign",
+    "seed": 11,
+    "strategy": "evolve",
+    "population": 6,
+    "generations": 2,
+    "cells": [{"model": MODEL, "board": BOARD}],
+}
+
+
+@pytest.fixture(scope="module")
+def service():
+    with EvaluationService(port=0) as running:
+        yield running
+
+
+@pytest.fixture(scope="module")
+def client(service):
+    return ServiceClient(service.url)
+
+
+@pytest.fixture(scope="module")
+def settled(client):
+    """One finished campaign whose full event history all tests share."""
+    campaign_id = client.start_campaign(SPEC)
+    events = list(client.stream_campaign(campaign_id))
+    snapshot = client.wait_campaign(campaign_id, timeout=120)
+    return campaign_id, events, snapshot
+
+
+def assert_contiguous(events):
+    seqs = [event["seq"] for event in events]
+    assert seqs == list(range(seqs[0], seqs[0] + len(seqs))), seqs
+
+
+def raw_stream_lines(service, path, headers=None):
+    connection = http.client.HTTPConnection(
+        service.host, service.port, timeout=30
+    )
+    try:
+        connection.request("GET", path, headers=headers or {})
+        response = connection.getresponse()
+        body = response.read()
+        return response, body.decode("utf-8").splitlines()
+    finally:
+        connection.close()
+
+
+class TestLiveStream:
+    def test_streams_full_lifecycle_while_running(self, settled):
+        _campaign_id, events, snapshot = settled
+        assert events[0]["type"] == "campaign_start"
+        assert events[-1]["type"] == "campaign_done"
+        assert_contiguous(events)
+        done = [event for event in events if event["type"] == "generation_done"]
+        assert len(done) == SPEC["generations"] + 1  # initial sample + gens
+        # The stream's final standing matches the polled snapshot.
+        cell = snapshot["campaign"]["cells"][0]
+        assert done[-1]["front_size"] == len(cell["front"])
+        assert done[-1]["hypervolume"] == pytest.approx(cell["hypervolume"])
+
+    def test_disconnect_and_resume_at_offset_has_no_gaps(self, client, settled):
+        campaign_id, events, _snapshot = settled
+        head = events[:3]
+        stream = client.stream_campaign(campaign_id)
+        got = [next(stream) for _ in range(3)]
+        stream.close()  # consumer drops mid-stream
+        assert got == head
+        resumed = list(client.stream_campaign(campaign_id, after=got[-1]["seq"]))
+        assert [event["seq"] for event in got + resumed] == [
+            event["seq"] for event in events
+        ]
+        assert resumed[-1]["type"] == "campaign_done"
+
+    def test_offset_into_history_skips_exactly(self, client, settled):
+        campaign_id, events, _snapshot = settled
+        after = events[2]["seq"]
+        tail = list(client.stream_campaign(campaign_id, after=after))
+        assert tail == events[3:]
+
+    def test_unknown_campaign_is_typed_404(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            next(client.stream_campaign("never-started"))
+        assert excinfo.value.status == 404
+        assert excinfo.value.kind == "unknown_campaign"
+
+    def test_bad_after_is_typed_400(self, service, settled):
+        campaign_id, _events, _snapshot = settled
+        for bad in ("-1", "many"):
+            response, lines = raw_stream_lines(
+                service, f"/campaign/{campaign_id}/events?after={bad}"
+            )
+            assert response.status == 400
+            assert json.loads(lines[0])["error"]["kind"] == "bad_request"
+
+    def test_last_event_id_header_resumes(self, service, settled):
+        campaign_id, events, _snapshot = settled
+        response, lines = raw_stream_lines(
+            service,
+            f"/campaign/{campaign_id}/events",
+            headers={"Last-Event-Id": str(events[1]["seq"])},
+        )
+        assert response.status == 200
+        assert response.getheader("Content-Type") == "application/x-ndjson"
+        parsed = [json.loads(line) for line in lines if line]
+        assert [event["seq"] for event in parsed] == [
+            event["seq"] for event in events[2:]
+        ]
+
+    def test_stream_is_chunked_and_connection_close(self, service, settled):
+        campaign_id, _events, _snapshot = settled
+        response, lines = raw_stream_lines(
+            service, f"/campaign/{campaign_id}/events"
+        )
+        # http.client strips the chunked framing; the header proves it.
+        assert response.getheader("Transfer-Encoding") == "chunked"
+        assert response.getheader("Connection") == "close"
+        assert lines  # de-chunked NDJSON came through
+
+    def test_plain_campaign_get_still_works(self, client, settled):
+        campaign_id, _events, _snapshot = settled
+        snapshot = client.campaign(campaign_id)
+        assert snapshot["id"] == campaign_id
+        assert snapshot["state"] == "done"
+
+    def test_unknown_campaign_subpath_is_404(self, service, settled):
+        campaign_id, _events, _snapshot = settled
+        response, lines = raw_stream_lines(
+            service, f"/campaign/{campaign_id}/frobnicate"
+        )
+        assert response.status == 404
+        assert json.loads(lines[0])["error"]["kind"] == "unknown_endpoint"

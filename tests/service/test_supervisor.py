@@ -174,6 +174,79 @@ class TestCampaignsAcrossWorkers:
             assert excinfo.value.status == 404
             assert excinfo.value.kind == "unknown_campaign"
 
+    def test_event_stream_served_by_any_worker(self, fleet):
+        """Acceptance criterion: ``GET /campaign/<id>/events`` streams from
+        a worker that does NOT own the campaign (the owner's pid is baked
+        into the id as ``c<pid>-<n>``), with gap-free offset resume across
+        reconnects."""
+        import http.client
+        import json
+
+        _process, url = fleet
+        host, port = url.replace("http://", "").split(":")
+        client = ServiceClient(url, timeout=30.0)
+        spec = {
+            "name": "fleet-stream",
+            "seed": 3,
+            "strategy": "evolve",
+            "population": 6,
+            "generations": 2,
+            "cells": [{"model": MODEL, "board": BOARD}],
+        }
+        campaign_id = client.start_campaign(spec)
+        owner_pid = int(campaign_id.lstrip("c").split("-")[0])
+
+        # Raw reconnecting consumer: a fresh connection per attempt lands
+        # on whichever worker the kernel picks; record who served each.
+        events, serving_pids, cursor = [], set(), 0
+        deadline = time.time() + 120.0
+        while time.time() < deadline:
+            connection = http.client.HTTPConnection(host, int(port), timeout=60.0)
+            try:
+                connection.request(
+                    "GET", f"/campaign/{campaign_id}/events?after={cursor}"
+                )
+                response = connection.getresponse()
+                assert response.status == 200
+                serving_pids.add(int(response.getheader("X-Repro-Worker")))
+                while True:
+                    line = response.readline()
+                    if not line:
+                        break
+                    event = json.loads(line)
+                    assert event["seq"] == cursor + 1  # contiguous, no gaps
+                    cursor = event["seq"]
+                    events.append(event)
+                    if event["type"] in ("campaign_done", "error"):
+                        break
+            finally:
+                connection.close()
+            if events and events[-1]["type"] in ("campaign_done", "error"):
+                break
+        types = [event["type"] for event in events]
+        assert types[0] == "campaign_start"
+        assert types[-1] == "campaign_done"
+        assert types.count("generation_done") == spec["generations"] + 1
+        # Both workers know the stream; at least one response must have come
+        # from a non-owner (two workers, several reconnects — if only the
+        # owner ever answered, the shared-run-dir mirror is broken). Force
+        # the point with extra probes until a non-owner serves one.
+        probe_deadline = time.time() + 30.0
+        while serving_pids == {owner_pid} and time.time() < probe_deadline:
+            connection = http.client.HTTPConnection(host, int(port), timeout=30.0)
+            try:
+                connection.request(
+                    "GET", f"/campaign/{campaign_id}/events?after={cursor - 1}"
+                )
+                response = connection.getresponse()
+                serving_pids.add(int(response.getheader("X-Repro-Worker")))
+                response.read()
+            finally:
+                connection.close()
+        assert serving_pids - {owner_pid}, (
+            f"stream only ever served by the owning worker {owner_pid}"
+        )
+
 
 @pytest.mark.parametrize("workers", [1, 2])
 def test_sigterm_drains_gracefully(workers):

@@ -1,0 +1,123 @@
+"""Tests for the CI search-quality gate (``benchmarks/quality_gate.py``).
+
+The gate script is not a package module; it is loaded here via importlib
+exactly as CI invokes it (as a file). The committed baseline is part of
+the contract: the seeded gate campaign must reproduce it exactly.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+GATE_PATH = REPO_ROOT / "benchmarks" / "quality_gate.py"
+
+_spec = importlib.util.spec_from_file_location("quality_gate", GATE_PATH)
+quality_gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(quality_gate)
+
+
+def metrics(**cells):
+    return {
+        "spec_fingerprint": "f0",
+        "total_evaluations": 1,
+        "cells": {
+            label: {"hypervolume": hv, "front_size": 4, "evaluations": 60}
+            for label, hv in cells.items()
+        },
+    }
+
+
+class TestCompare:
+    def test_identical_metrics_pass(self):
+        base = metrics(a=100.0, b=200.0)
+        assert quality_gate.compare(base, base) == []
+
+    def test_within_tolerance_passes(self):
+        base = metrics(a=100.0)
+        cur = metrics(a=98.5)  # -1.5% > the -2% floor
+        assert quality_gate.compare(base, cur) == []
+
+    def test_regression_beyond_tolerance_fails(self):
+        base = metrics(a=100.0, b=200.0)
+        cur = metrics(a=97.0, b=200.0)  # -3%
+        failures = quality_gate.compare(base, cur)
+        assert len(failures) == 1
+        assert failures[0].startswith("a:") and "regressed" in failures[0]
+
+    def test_improvement_passes(self):
+        base = metrics(a=100.0)
+        cur = metrics(a=140.0)
+        assert quality_gate.compare(base, cur) == []
+
+    def test_fingerprint_mismatch_fails_closed(self):
+        base = metrics(a=100.0)
+        cur = dict(metrics(a=100.0), spec_fingerprint="f1")
+        failures = quality_gate.compare(base, cur)
+        assert len(failures) == 1 and "fingerprint" in failures[0]
+
+    def test_missing_and_extra_cells_fail(self):
+        base = metrics(a=100.0, b=200.0)
+        cur = metrics(a=100.0, c=50.0)
+        failures = quality_gate.compare(base, cur)
+        assert any("b: cell missing" in f for f in failures)
+        assert any(f.startswith("c:") for f in failures)
+
+    def test_custom_tolerance(self):
+        base = metrics(a=100.0)
+        cur = metrics(a=94.0)
+        assert quality_gate.compare(base, cur, tolerance=0.10) == []
+        assert quality_gate.compare(base, cur, tolerance=0.05)
+
+
+class TestGateCampaign:
+    @pytest.fixture(scope="class")
+    def current(self):
+        return quality_gate.current_metrics(quality_gate.run_gate_campaign())
+
+    def test_reproduces_committed_baseline_exactly(self, current):
+        """The gate campaign is seeded and the cost model deterministic:
+        the numbers in git must reproduce bit-exactly. If this fails you
+        changed search behavior — rerun ``--regen`` and commit the new
+        baseline (CI's gate tolerates 2%, this test tolerates nothing)."""
+        with open(quality_gate.BASELINE_PATH, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        assert current == baseline
+
+    def test_gate_passes_against_committed_baseline(self, current):
+        with open(quality_gate.BASELINE_PATH, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        assert quality_gate.compare(baseline, current) == []
+
+    def test_gate_fails_on_perturbed_baseline(self, current):
+        """The acceptance criterion's negative control: inflate one cell's
+        baseline hypervolume by 10% and the gate must fail."""
+        with open(quality_gate.BASELINE_PATH, "r", encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        label = next(iter(baseline["cells"]))
+        baseline["cells"][label]["hypervolume"] *= 1.10
+        failures = quality_gate.compare(baseline, current)
+        assert len(failures) == 1
+        assert label in failures[0]
+
+
+class TestCliModes:
+    def test_current_mode_skips_the_campaign(self, tmp_path, capsys):
+        current = quality_gate.current_metrics(quality_gate.run_gate_campaign())
+        path = tmp_path / "current.json"
+        path.write_text(json.dumps(current), encoding="utf-8")
+        assert quality_gate.main(["--current", str(path)]) == 0
+        assert "quality gate passed" in capsys.readouterr().out
+
+    def test_missing_baseline_is_a_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit):
+            quality_gate.main(
+                ["--baseline", str(tmp_path / "nope.json"),
+                 "--current", str(tmp_path / "nope2.json")]
+            )
+
+    def test_regen_and_current_conflict(self, tmp_path):
+        with pytest.raises(SystemExit):
+            quality_gate.main(["--regen", "--current", str(tmp_path / "x.json")])
